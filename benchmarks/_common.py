@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation and *emits* it: the formatted rows/series are written to
+``benchmarks/results/<name>.txt`` and printed (visible with ``pytest -s``
+or in captured output on failure).  pytest-benchmark's own timing table
+covers the "how long does the pipeline take" axis.
+
+Scale knob: set ``REPRO_BENCH_FULL=1`` to run the full paper scales
+(e.g. 8192-machine simulations, 10^6 Monte Carlo samples); the default
+is a faithful-but-fast subset so ``pytest benchmarks/ --benchmark-only``
+completes in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: True when the operator asked for paper-scale runs.
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+def emit(name: str, text: str) -> str:
+    """Persist one regenerated table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return text

@@ -1,0 +1,61 @@
+"""Ablation: how close do the fast heuristics get to long stochastic search?
+
+The paper's related work cites simulated annealing (Bollinger & Midkiff)
+as the accurate-but-slow end of the mapping spectrum.  This bench runs a
+generously-budgeted annealer next to the paper's algorithms on the EC2
+scenario: Geo-distributed should land within a few percent of the
+annealed cost at a tiny fraction of its wall time — the quantified
+version of the paper's "near optimal solutions with low overhead".
+"""
+
+import numpy as np
+
+from repro.baselines import SimulatedAnnealingMapper
+from repro.core import GeoDistributedMapper
+from repro.exp import format_table, improvement_pct, paper_ec2_scenario
+
+from _common import FULL_SCALE, emit
+
+STEPS = 120_000 if FULL_SCALE else 40_000
+APPS = ("LU", "K-means")
+_FAST = {"LU": dict(iterations=10), "K-means": dict(iterations=10)}
+
+
+def run_ablation():
+    rows = []
+    for app_name in APPS:
+        scn = paper_ec2_scenario(app_name, seed=0, **_FAST[app_name])
+        geo = GeoDistributedMapper().map(scn.problem, seed=0)
+        sa = SimulatedAnnealingMapper(steps=STEPS, restarts=2).map(
+            scn.problem, seed=0
+        )
+        rows.append(
+            [
+                app_name,
+                geo.cost,
+                sa.cost,
+                improvement_pct(sa.cost, geo.cost),
+                geo.elapsed_s * 1e3,
+                sa.elapsed_s * 1e3,
+            ]
+        )
+    return rows
+
+
+def test_ablation_annealing(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(
+        "ablation_annealing",
+        format_table(
+            ["app", "Geo cost", "SA cost", "Geo vs SA (%)", "Geo ms", "SA ms"],
+            rows,
+            title=f"Ablation: Geo-distributed vs simulated annealing ({STEPS} steps)",
+        ),
+    )
+    for app_name, geo_cost, sa_cost, gap, geo_ms, sa_ms in rows:
+        # Geo must stay within 15% of the long stochastic search...
+        assert geo_cost <= sa_cost * 1.15, (
+            f"Geo is {geo_cost / sa_cost:.2f}x the annealed cost on {app_name}"
+        )
+        # ...while being at least an order of magnitude faster.
+        assert geo_ms * 10 < sa_ms

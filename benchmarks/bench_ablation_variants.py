@@ -1,0 +1,70 @@
+"""Ablation: baseline-algorithm variants (Greedy order, MPIPP awareness).
+
+Two of our baselines have faithful-vs-stronger variants:
+
+* **Greedy**: affinity-growth order (default, neighbor-aware) vs the
+  literal static volume order of the paper's one-line description;
+* **MPIPP**: symmetric two-level network view (default, faithful) vs the
+  ``geo_aware`` extension that refines against the true geo cost, and
+  the O(N^3) exact refinement vs the ``fast_refine`` shortlist.
+
+This bench quantifies each choice on the paper scenario so the
+deviations called out in EXPERIMENTS.md carry numbers.
+"""
+
+import numpy as np
+
+from repro.baselines import GreedyMapper, MPIPPMapper
+from repro.exp import format_table, improvement_pct, paper_ec2_scenario
+
+from _common import emit
+
+APPS = ("LU", "K-means")
+_FAST = {"LU": dict(iterations=10), "K-means": dict(iterations=10)}
+
+
+def run_ablation():
+    rows = []
+    for app_name in APPS:
+        scn = paper_ec2_scenario(app_name, seed=0, **_FAST[app_name])
+        variants = {
+            "greedy/affinity": GreedyMapper(affinity_growth=True),
+            "greedy/static": GreedyMapper(affinity_growth=False),
+            "mpipp/faithful": MPIPPMapper(),
+            "mpipp/geo-aware": MPIPPMapper(geo_aware=True),
+            "mpipp/fast-refine": MPIPPMapper(fast_refine=True),
+        }
+        for label, mapper in variants.items():
+            m = mapper.map(scn.problem, seed=0)
+            rows.append([app_name, label, m.cost, m.elapsed_s * 1e3])
+    return rows
+
+
+def test_ablation_variants(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(
+        "ablation_variants",
+        format_table(
+            ["app", "variant", "cost", "overhead ms"],
+            rows,
+            title="Ablation: Greedy and MPIPP algorithm variants",
+        ),
+    )
+    by = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+    for app_name in APPS:
+        # The geo-aware MPIPP extension should not lose to the faithful
+        # symmetric view on its true objective.
+        assert (
+            by[(app_name, "mpipp/geo-aware")][0]
+            <= by[(app_name, "mpipp/faithful")][0] * 1.05
+        )
+        # The fast refinement trades little quality...
+        assert (
+            by[(app_name, "mpipp/fast-refine")][0]
+            <= by[(app_name, "mpipp/faithful")][0] * 1.25
+        )
+        # ...for a large speedup.
+        assert (
+            by[(app_name, "mpipp/fast-refine")][1]
+            < by[(app_name, "mpipp/faithful")][1]
+        )

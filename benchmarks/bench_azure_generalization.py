@@ -1,0 +1,63 @@
+"""Extension: the algorithm generalizes to Windows Azure (paper future work).
+
+The paper validates its two network observations on Azure (Table 3) and
+leaves "extend this study onto different clouds such as Windows Azure"
+as future work.  This bench runs the Fig. 6-style comparison on a
+4-region Azure deployment (East US, West Europe, Japan East, Southeast
+Asia, Standard_D2) and checks that the algorithm ordering carries over:
+Geo-distributed still leads on the communication cost for a local and a
+complex workload.
+"""
+
+import numpy as np
+
+from repro.apps import KMeansApp, LUApp
+from repro.cloud import CloudTopology
+from repro.exp import (
+    build_problem,
+    default_mappers,
+    format_table,
+    improvement_pct,
+)
+
+from _common import emit
+
+AZURE_REGIONS = ["east-us", "west-europe", "japan-east", "southeast-asia"]
+
+
+def run_azure():
+    topo = CloudTopology.from_regions(
+        AZURE_REGIONS, 16, provider="azure", instance_type="standard-d2", seed=0
+    )
+    rows = []
+    results = {}
+    for app in (LUApp(64, iterations=10), KMeansApp(64, iterations=10)):
+        problem = build_problem(app, topo, constraint_ratio=0.2, seed=0)
+        costs = {}
+        for name, mapper in default_mappers().items():
+            costs[name] = mapper.map(problem, seed=0).cost
+        base = costs["Baseline"]
+        for name, c in costs.items():
+            if name != "Baseline":
+                rows.append([app.name, name, improvement_pct(base, c)])
+        results[app.name] = {
+            name: improvement_pct(base, c) for name, c in costs.items()
+        }
+    return rows, results
+
+
+def test_azure_generalization(benchmark):
+    rows, results = benchmark.pedantic(run_azure, rounds=1, iterations=1)
+    emit(
+        "azure_generalization",
+        format_table(
+            ["app", "mapper", "comm-cost improvement %"],
+            rows,
+            title="Extension: 4-region Windows Azure deployment (Standard_D2)",
+        ),
+    )
+    for app_name, imps in results.items():
+        geo = imps["Geo-distributed"]
+        assert geo > 20.0, f"Geo only improves {geo:.1f}% on Azure {app_name}"
+        assert geo >= imps["Greedy"] - 2.0
+        assert geo >= imps["MPIPP"] - 3.0

@@ -1,0 +1,77 @@
+"""Figure 4: optimization overhead of the compared algorithms.
+
+Regenerates the paper's Fig. 4 — wall-clock mapping overhead of Greedy,
+MPIPP and Geo-distributed at the scales (sites/processes) 1/32, 2/64,
+4/64, 4/128, 4/256, normalized to Baseline — plus the two Section 5.2
+callouts: Geo's absolute overhead stays under a minute at 4/64, and at
+one site Geo degenerates to a Greedy-like single pass.
+"""
+
+import time
+
+import numpy as np
+
+from repro.apps import LUApp
+from repro.cloud import CloudTopology
+from repro.cloud.regions import PAPER_EC2_REGIONS
+from repro.exp import OVERHEAD_SCALES, build_problem, default_mappers, format_series
+
+from _common import emit
+
+
+def measure_overheads() -> dict[str, list[float]]:
+    """Mapping wall time per algorithm at each (sites, processes) scale."""
+    out: dict[str, list[float]] = {}
+    for sites, procs in OVERHEAD_SCALES:
+        topo = CloudTopology.from_regions(
+            PAPER_EC2_REGIONS[:sites], procs // sites, seed=0
+        )
+        app = LUApp(procs, iterations=4)
+        problem = build_problem(app, topo, constraint_ratio=0.2, seed=0)
+        for name, mapper in default_mappers().items():
+            m = mapper.map(problem, seed=0)
+            out.setdefault(name, []).append(m.elapsed_s)
+    return out
+
+
+def test_fig4_overhead(benchmark):
+    overheads = benchmark.pedantic(measure_overheads, rounds=1, iterations=1)
+
+    labels = [f"{s}/{p}" for s, p in OVERHEAD_SCALES]
+    normalized = {
+        name: [t / b for t, b in zip(ts, overheads["Baseline"])]
+        for name, ts in overheads.items()
+        if name != "Baseline"
+    }
+    absolute = {name: [t * 1e3 for t in ts] for name, ts in overheads.items()}
+    emit(
+        "fig4_overhead",
+        format_series(
+            "sites/procs", labels, normalized,
+            title="Figure 4: optimization overhead normalized to Baseline",
+        )
+        + "\n\n"
+        + format_series(
+            "sites/procs", labels, absolute,
+            title="Figure 4 (supplement): absolute overhead, milliseconds",
+        ),
+    )
+
+    geo = overheads["Geo-distributed"]
+    greedy = overheads["Greedy"]
+    mpipp = overheads["MPIPP"]
+
+    # Section 5.2: Geo's absolute overhead < 1 minute at 4 sites / 64 procs.
+    assert geo[labels.index("4/64")] < 60.0
+    # MPIPP costs far more than Greedy and Geo at the largest scale.
+    assert mpipp[-1] > 3 * geo[-1]
+    assert mpipp[-1] > 10 * greedy[-1]
+    # Greedy is the cheapest optimizer at scale.
+    assert greedy[-1] < geo[-1]
+    # Overheads grow with the number of processes for every algorithm.
+    for name in ("Greedy", "MPIPP", "Geo-distributed"):
+        ts = overheads[name]
+        assert ts[-1] > ts[0]
+    # With one site Geo has a single group/order: its overhead is within
+    # a small factor of Greedy's (paper: "actually equivalent").
+    assert geo[0] < 20 * max(greedy[0], 1e-4)

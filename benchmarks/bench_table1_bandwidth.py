@@ -1,0 +1,80 @@
+"""Table 1: intra- and cross-region bandwidth per instance type.
+
+Regenerates the paper's Table 1 — average network bandwidth (MB/s) of
+five instance types within US East, within Singapore, and between the
+two regions — by running the simulated pingpong calibration against the
+realized topology for each instance type.
+"""
+
+import pytest
+
+from repro.cloud import (
+    CloudTopology,
+    NetworkModel,
+    PingpongCalibrator,
+)
+from repro.exp import format_table
+
+from _common import emit
+
+INSTANCE_TYPES = ["m1.small", "m1.medium", "m1.large", "m1.xlarge", "c3.8xlarge"]
+
+#: Paper Table 1 (MB/s): (US East, Singapore, cross-region).
+PAPER_TABLE1 = {
+    "m1.small": (15, 22, 5.4),
+    "m1.medium": (80, 78, 6.3),
+    "m1.large": (84, 82, 6.3),
+    "m1.xlarge": (102, 103, 6.4),
+    "c3.8xlarge": (148, 204, 6.6),
+}
+
+
+def calibrate_row(instance_type: str) -> tuple[float, float, float]:
+    """(intra US East, intra Singapore, cross) measured bandwidth, MB/s."""
+    topo = CloudTopology.from_regions(
+        ["us-east-1", "ap-southeast-1"],
+        2,
+        instance_type=instance_type,
+        jitter=0.0,
+        model=NetworkModel(instance_type=instance_type),
+    )
+    cal = PingpongCalibrator(topo, noise=0.02, seed=1).calibrate(
+        days=3, samples_per_day=5
+    )
+    bw = cal.bandwidth_Bps / 1e6
+    return float(bw[0, 0]), float(bw[1, 1]), float(bw[0, 1])
+
+
+def test_table1_bandwidth(benchmark):
+    rows = {}
+
+    def run():
+        for it in INSTANCE_TYPES:
+            rows[it] = calibrate_row(it)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table_rows = []
+    for it in INSTANCE_TYPES:
+        us, sg, cross = rows[it]
+        p_us, p_sg, p_cross = PAPER_TABLE1[it]
+        table_rows.append([it, us, sg, cross, p_us, p_sg, p_cross])
+    emit(
+        "table1_bandwidth",
+        format_table(
+            ["instance", "US East", "Singapore", "cross", "paper US", "paper SG", "paper X"],
+            table_rows,
+            title="Table 1: average network bandwidth (MB/s), measured vs paper",
+        ),
+    )
+
+    # Shape checks: measured values near the paper anchors, and
+    # Observation 1 (intra >> inter) for every type.
+    for it in INSTANCE_TYPES:
+        us, sg, cross = rows[it]
+        p_us, p_sg, p_cross = PAPER_TABLE1[it]
+        assert us == pytest.approx(p_us, rel=0.1)
+        assert sg == pytest.approx(p_sg, rel=0.1)
+        assert cross == pytest.approx(p_cross, rel=0.1)
+        assert min(us, sg) > 2 * cross

@@ -1,0 +1,83 @@
+"""Table 2: cross-region performance vs geographic distance (EC2).
+
+Regenerates the paper's Table 2 — bandwidth and latency of c3.8xlarge
+links from US East to US West (short), Ireland (medium) and Singapore
+(long) — via pingpong calibration, and checks Observation 2: both
+metrics are monotone in distance.
+"""
+
+import pytest
+
+from repro.cloud import CloudTopology, NetworkModel, PingpongCalibrator, get_region
+from repro.exp import format_table
+
+from _common import emit
+
+TARGETS = [
+    ("us-west-1", "Short"),
+    ("eu-west-1", "Medium"),
+    ("ap-southeast-1", "Long"),
+]
+
+#: Paper Table 2: bandwidth MB/s and latency (their printed "ms").
+PAPER_TABLE2 = {
+    "us-west-1": (21.0, 0.16),
+    "eu-west-1": (19.0, 0.17),
+    "ap-southeast-1": (6.6, 0.35),
+}
+
+
+def calibrate_pairs() -> dict[str, tuple[float, float, float]]:
+    """region -> (bandwidth MB/s, latency ms, distance km) from US East."""
+    out = {}
+    use = get_region("us-east-1")
+    for key, _ in TARGETS:
+        topo = CloudTopology.from_regions(
+            ["us-east-1", key],
+            1,
+            instance_type="c3.8xlarge",
+            jitter=0.0,
+            model=NetworkModel(instance_type="c3.8xlarge"),
+        )
+        cal = PingpongCalibrator(topo, noise=0.02, seed=2).calibrate(
+            days=3, samples_per_day=5
+        )
+        out[key] = (
+            float(cal.bandwidth_Bps[0, 1] / 1e6),
+            float(cal.latency_s[0, 1] * 1e3),
+            use.distance_km(get_region(key)),
+        )
+    return out
+
+
+def test_table2_distance(benchmark):
+    rows = benchmark.pedantic(calibrate_pairs, rounds=1, iterations=1)
+
+    table = []
+    for key, label in TARGETS:
+        bw, lat, dist = rows[key]
+        p_bw, p_lat = PAPER_TABLE2[key]
+        table.append([key, label, round(dist), bw, lat, p_bw, p_lat])
+    emit(
+        "table2_distance",
+        format_table(
+            ["region", "distance", "km", "bw MB/s", "lat ms", "paper bw", "paper lat"],
+            table,
+            title="Table 2: c3.8xlarge from US East, measured vs paper",
+        ),
+    )
+
+    # Anchor closeness.
+    for key, _ in TARGETS:
+        bw, lat, _ = rows[key]
+        p_bw, p_lat = PAPER_TABLE2[key]
+        assert bw == pytest.approx(p_bw, rel=0.1)
+        assert lat == pytest.approx(p_lat, rel=0.1)
+    # Observation 2: monotone in distance.
+    ordered = sorted(rows.values(), key=lambda r: r[2])
+    bws = [r[0] for r in ordered]
+    lats = [r[1] for r in ordered]
+    assert bws == sorted(bws, reverse=True)
+    assert lats == sorted(lats)
+    # Paper callout: short-distance bandwidth ~3x long-distance.
+    assert bws[0] / bws[-1] > 2.5

@@ -1,0 +1,67 @@
+"""Table 3: the observations generalize to Windows Azure.
+
+Regenerates the paper's Table 3 — Standard_D2 bandwidth/latency within
+East US and from East US to West Europe and Japan East — confirming
+both observations hold on a second provider.
+"""
+
+import pytest
+
+from repro.cloud import CloudTopology, NetworkModel, PingpongCalibrator
+from repro.exp import format_table
+
+from _common import emit
+
+#: Paper Table 3: (bandwidth MB/s, latency ms, distance label).
+PAPER_TABLE3 = {
+    "east-us": (62.0, 0.82, "Intra-Region"),
+    "west-europe": (2.9, 42.0, "Medium"),
+    "japan-east": (1.3, 77.0, "Long"),
+}
+
+
+def calibrate_azure() -> dict[str, tuple[float, float]]:
+    model = NetworkModel(provider="azure", instance_type="standard-d2")
+    topo = CloudTopology.from_regions(
+        ["east-us", "west-europe", "japan-east"],
+        1,
+        provider="azure",
+        instance_type="standard-d2",
+        jitter=0.0,
+        model=model,
+    )
+    cal = PingpongCalibrator(topo, noise=0.02, seed=3).calibrate(
+        days=3, samples_per_day=5
+    )
+    return {
+        "east-us": (float(cal.bandwidth_Bps[0, 0] / 1e6), float(cal.latency_s[0, 0] * 1e3)),
+        "west-europe": (float(cal.bandwidth_Bps[0, 1] / 1e6), float(cal.latency_s[0, 1] * 1e3)),
+        "japan-east": (float(cal.bandwidth_Bps[0, 2] / 1e6), float(cal.latency_s[0, 2] * 1e3)),
+    }
+
+
+def test_table3_azure(benchmark):
+    rows = benchmark.pedantic(calibrate_azure, rounds=1, iterations=1)
+
+    table = []
+    for key, (p_bw, p_lat, label) in PAPER_TABLE3.items():
+        bw, lat = rows[key]
+        table.append([key, label, bw, lat, p_bw, p_lat])
+    emit(
+        "table3_azure",
+        format_table(
+            ["region", "distance", "bw MB/s", "lat ms", "paper bw", "paper lat"],
+            table,
+            title="Table 3: Azure Standard_D2 from East US, measured vs paper",
+        ),
+    )
+
+    for key, (p_bw, p_lat, _) in PAPER_TABLE3.items():
+        bw, lat = rows[key]
+        assert bw == pytest.approx(p_bw, rel=0.12)
+        assert lat == pytest.approx(p_lat, rel=0.12)
+    # Observation 1 on Azure: intra bandwidth >> both inter links.
+    assert rows["east-us"][0] > 10 * rows["west-europe"][0]
+    # Observation 2 on Azure: Japan (farther) slower than Europe.
+    assert rows["west-europe"][0] > rows["japan-east"][0]
+    assert rows["west-europe"][1] < rows["japan-east"][1]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Cost-model and search-budget study.
+
+Two questions the paper answers by argument, answered here by running:
+
+1. *Was the lightweight α-β model the right call?*  We calibrate the
+   richer LogGP model from the same (simulated) pingpong infrastructure,
+   count the extra probes, and check whether the two models ever
+   disagree about which of two mappings is better.
+2. *How much quality does the fast heuristic leave on the table?*  We
+   run a long simulated-annealing search and compare cost and wall time
+   against Geo-distributed.
+
+Run:  python examples/model_study.py
+"""
+
+import time
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro.apps import LUApp
+from repro.baselines import SimulatedAnnealingMapper, sample_assignments
+from repro.cloud import PingpongCalibrator, paper_topology
+from repro.core import GeoDistributedMapper, calibrate_loggp, total_cost
+from repro.exp import build_problem, format_table
+
+
+def main() -> None:
+    topo = paper_topology(seed=0)
+    app = LUApp(64, iterations=10)
+    problem = build_problem(app, topo, constraint_ratio=0.2, seed=0)
+
+    # --- Question 1: alpha-beta vs LogGP -------------------------------
+    cal = PingpongCalibrator(topo, noise=0.02, seed=0)
+    model, probes = calibrate_loggp(cal, samples=3)
+    ab_probes = topo.num_sites**2 * 2 * 3
+    pool = sample_assignments(problem, 300, seed=1)
+    ab = np.array([total_cost(problem, P) for P in pool])
+    lg = np.array([model.total_cost(problem, P) for P in pool])
+    rho, _ = spearmanr(ab, lg)
+    print(
+        format_table(
+            ["model", "calibration probes", "rank agreement"],
+            [["alpha-beta", ab_probes, 1.0], ["LogGP", probes, float(rho)]],
+            title="Q1: does the richer model change any decision?",
+        )
+    )
+    print(
+        f"-> LogGP costs {probes / ab_probes:.1f}x the probes and agrees with "
+        f"alpha-beta at rho={rho:.4f}: the paper's lightweight choice is safe.\n"
+    )
+
+    # --- Question 2: heuristic vs long stochastic search ---------------
+    t0 = time.perf_counter()
+    geo = GeoDistributedMapper().map(problem, seed=0)
+    geo_t = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sa = SimulatedAnnealingMapper(steps=30_000).map(problem, seed=0)
+    sa_t = time.perf_counter() - t0
+    print(
+        format_table(
+            ["algorithm", "cost", "wall time (s)"],
+            [
+                ["Geo-distributed", geo.cost, geo_t],
+                ["Simulated annealing (30k steps)", sa.cost, sa_t],
+            ],
+            title="Q2: what does a long search buy?",
+        )
+    )
+    gap = 100 * (geo.cost - sa.cost) / sa.cost
+    print(
+        f"-> the annealer spends {sa_t / max(geo_t, 1e-9):.0f}x the time to "
+        f"improve on Geo-distributed by {gap:.1f}% — 'near optimal with low "
+        f"overhead', measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

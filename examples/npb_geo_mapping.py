@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""NPB study: map BT, SP and LU across geo-distributed regions.
+
+Reproduces a slice of the paper's Section 5.3 interactively: the three
+NPB pseudo-applications on the 4-region EC2 deployment, compared across
+all four mapping algorithms, in both total-time and communication-only
+views.  Also prints the calibration-overhead argument from Section 4.2.
+
+Run:  python examples/npb_geo_mapping.py
+"""
+
+from repro.cloud import calibration_overhead_minutes
+from repro.exp import (
+    default_mappers,
+    format_table,
+    improvement_pct,
+    paper_ec2_scenario,
+    run_comparison,
+)
+
+APPS = {"BT": dict(iterations=8), "SP": dict(iterations=8), "LU": dict(iterations=10)}
+
+
+def main() -> None:
+    trad, ours = calibration_overhead_minutes(4, 128)
+    print(
+        "Network calibration (Section 4.2): all-node-pairs would take "
+        f"{trad / (60 * 24):.0f} days; site-pair calibration takes {ours:.0f} minutes.\n"
+    )
+
+    rows = []
+    for app_name, kwargs in APPS.items():
+        scn = paper_ec2_scenario(app_name, seed=0, **kwargs)
+        results = run_comparison(scn.app, scn.problem, default_mappers(), seed=0)
+        base = results["Baseline"]
+        for name, r in results.items():
+            if name == "Baseline":
+                continue
+            rows.append(
+                [
+                    app_name,
+                    name,
+                    improvement_pct(base.total_time_s, r.total_time_s),
+                    improvement_pct(base.comm_time_s, r.comm_time_s),
+                    improvement_pct(base.mapping.cost, r.mapping.cost),
+                ]
+            )
+
+    print(
+        format_table(
+            ["app", "mapper", "total-time %", "comm-time %", "comm-cost %"],
+            rows,
+            title="NPB kernels on 4 EC2 regions: improvement over Baseline",
+        )
+    )
+    print(
+        "\nThe diagonal NPB patterns reward locality: every informed mapper "
+        "beats random placement, and Geo-distributed adds the cross-region "
+        "link alignment the others cannot see."
+    )
+
+
+if __name__ == "__main__":
+    main()

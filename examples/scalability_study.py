@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Scalability + Monte Carlo study (Figs. 7, 9 and 10 in miniature).
+
+Sweeps simulated cluster sizes 64 -> 512 machines over four regions,
+comparing Greedy and Geo-distributed against the random Baseline on the
+communication cost, then drills into one scale with a Monte Carlo
+analysis: where does each algorithm sit in the distribution of random
+mappings, and how large a K would random best-of-K search need to match
+the heuristic?
+
+Run:  python examples/scalability_study.py
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    GreedyMapper,
+    RandomMapper,
+    best_of_k_curve,
+    monte_carlo_costs,
+)
+from repro.core import GeoDistributedMapper
+from repro.exp import format_series, format_table, improvement_pct, scale_scenario
+
+SCALES = (64, 128, 256, 512)
+
+
+def main() -> None:
+    greedy_line, geo_line = [], []
+    for machines in SCALES:
+        scn = scale_scenario("LU", machines, seed=0)
+        base = np.mean(
+            [RandomMapper().map(scn.problem, seed=s).cost for s in range(3)]
+        )
+        greedy_line.append(
+            improvement_pct(base, GreedyMapper().map(scn.problem, seed=0).cost)
+        )
+        geo_line.append(
+            improvement_pct(base, GeoDistributedMapper().map(scn.problem, seed=0).cost)
+        )
+
+    print(
+        format_series(
+            "machines",
+            list(SCALES),
+            {"Greedy": greedy_line, "Geo-distributed": geo_line},
+            title="LU communication-cost improvement over Baseline (%)",
+        )
+    )
+
+    # Monte Carlo drill-down at 64 machines.
+    scn = scale_scenario("LU", 64, seed=0)
+    mc = monte_carlo_costs(scn.problem, 20_000, seed=1)
+    geo = GeoDistributedMapper().map(scn.problem, seed=0)
+    greedy = GreedyMapper().map(scn.problem, seed=0)
+    ks = np.array([1, 10, 100, 1000, 10_000])
+    curve = best_of_k_curve(mc.costs, ks, seed=2, repeats=16)
+
+    print()
+    print(
+        format_table(
+            ["algorithm", "cost", "% of random mappings better"],
+            [
+                ["Greedy", greedy.cost, 100 * mc.quantile_of(greedy.cost)],
+                ["Geo-distributed", geo.cost, 100 * mc.quantile_of(geo.cost)],
+            ],
+            title="Monte Carlo placement (20,000 random mappings, 64 machines)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["K", "expected best-of-K cost"],
+            [[int(k), c] for k, c in zip(ks, curve)],
+            title="Random best-of-K search decays only logarithmically",
+        )
+    )
+    beat = ks[np.asarray(curve) <= geo.cost]
+    needle = f"K >= {int(beat[0]):,}" if beat.size else "K > 10,000"
+    print(f"\nRandom search needs {needle} samples to match Geo-distributed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Shared argument-validation helpers.
+
+Every public entry point in :mod:`repro` validates its inputs eagerly and
+raises :class:`ValueError` / :class:`TypeError` with a message naming the
+offending argument.  Centralizing the checks keeps the error messages
+uniform and the call sites one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_fraction",
+    "check_square_matrix",
+    "check_matrix_pair",
+    "check_vector",
+    "as_rng",
+]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive integer, else raise.
+
+    Accepts numpy integer scalars as well as Python ints; rejects bools.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a non-negative integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Return ``value`` as float if it lies in [0, 1], else raise."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_square_matrix(
+    matrix: np.ndarray,
+    name: str,
+    *,
+    size: int | None = None,
+    nonnegative: bool = True,
+) -> np.ndarray:
+    """Validate a 2-D square float matrix and return it as ``float64``.
+
+    Parameters
+    ----------
+    matrix:
+        Array-like to validate.
+    name:
+        Argument name used in error messages.
+    size:
+        If given, the required number of rows/columns.
+    nonnegative:
+        If True (default), all entries must be >= 0.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be a square 2-D matrix, got shape {arr.shape}")
+    if size is not None and arr.shape[0] != size:
+        raise ValueError(f"{name} must be {size}x{size}, got {arr.shape[0]}x{arr.shape[1]}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if nonnegative and np.any(arr < 0):
+        raise ValueError(f"{name} contains negative entries")
+    return arr
+
+
+def check_matrix_pair(a: np.ndarray, b: np.ndarray, name_a: str, name_b: str) -> None:
+    """Require that two matrices share the same shape."""
+    if np.asarray(a).shape != np.asarray(b).shape:
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same shape, "
+            f"got {np.asarray(a).shape} vs {np.asarray(b).shape}"
+        )
+
+
+def check_vector(
+    vec: Sequence[int] | np.ndarray,
+    name: str,
+    *,
+    size: int | None = None,
+    dtype=np.int64,
+) -> np.ndarray:
+    """Validate a 1-D vector and return it with the requested dtype."""
+    arr = np.asarray(vec, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if size is not None and arr.shape[0] != size:
+        raise ValueError(f"{name} must have length {size}, got {arr.shape[0]}")
+    return arr
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed or Generator into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,47 @@
+"""Simulated workloads: the paper's five evaluation applications (LU, BT,
+SP, K-means, DNN) plus synthetic patterns for tests and ablations.
+"""
+
+from .base import Application, grid_shape
+from .dnn import DNNApp
+from .kmeans import KMeansApp
+from .npb import LU_EW_BYTES, LU_NS_BYTES, BTApp, LUApp, SPApp
+from .synthetic import RandomSparseApp, RingApp, StencilApp, UniformApp
+
+__all__ = [
+    "Application",
+    "grid_shape",
+    "DNNApp",
+    "KMeansApp",
+    "LU_EW_BYTES",
+    "LU_NS_BYTES",
+    "BTApp",
+    "LUApp",
+    "SPApp",
+    "RandomSparseApp",
+    "RingApp",
+    "StencilApp",
+    "UniformApp",
+]
+
+#: Factory for the paper's five evaluation applications at a given scale.
+PAPER_APPS = ("BT", "SP", "LU", "K-means", "DNN")
+
+
+def make_paper_app(name: str, num_ranks: int = 64, **kwargs) -> Application:
+    """Instantiate one of the paper's five applications by name."""
+    factories = {
+        "BT": BTApp,
+        "SP": SPApp,
+        "LU": LUApp,
+        "K-means": KMeansApp,
+        "DNN": DNNApp,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise KeyError(f"unknown paper app {name!r}; choose from {sorted(factories)}") from None
+    return factory(num_ranks, **kwargs)
+
+
+__all__ += ["PAPER_APPS", "make_paper_app"]

@@ -1,0 +1,167 @@
+"""Synthetic workloads for tests, ablations, and quick experiments.
+
+These are not from the paper; they exist to exercise the simulator and
+the mappers with controlled structure:
+
+* :class:`RingApp` — nearest-neighbor ring exchange (maximal locality);
+* :class:`StencilApp` — 2-D 4-point halo exchange;
+* :class:`RandomSparseApp` — seeded random sparse traffic (no locality);
+* :class:`UniformApp` — tiny all-to-all traffic (nothing to optimize,
+  useful as a control: all mappings should cost roughly the same).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..simmpi.engine import RankContext
+from ..simmpi.ops import Compute, Operation, Recv, Send
+from .base import Application, grid_shape
+
+__all__ = ["RingApp", "StencilApp", "RandomSparseApp", "UniformApp"]
+
+
+class RingApp(Application):
+    """Each rank exchanges with its two ring neighbors every iteration."""
+
+    name = "ring"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        *,
+        iterations: int = 10,
+        nbytes: int = 64 * 1024,
+        compute: float = 0.0,
+    ) -> None:
+        super().__init__(num_ranks)
+        self.iterations = check_positive_int(iterations, "iterations")
+        self.nbytes = check_positive_int(nbytes, "nbytes")
+        if compute < 0:
+            raise ValueError("compute must be >= 0")
+        self.compute = float(compute)
+
+    def program(self, ctx: RankContext) -> Generator[Operation, None, None]:
+        if ctx.size == 1:
+            for _ in range(self.iterations):
+                yield Compute(self.compute)
+            return
+        nxt = (ctx.rank + 1) % ctx.size
+        prv = (ctx.rank - 1) % ctx.size
+        for _ in range(self.iterations):
+            if self.compute:
+                yield Compute(self.compute)
+            yield Send(dst=nxt, nbytes=self.nbytes, tag=40)
+            yield Send(dst=prv, nbytes=self.nbytes, tag=41)
+            yield Recv(src=prv, tag=40)
+            yield Recv(src=nxt, tag=41)
+
+
+class StencilApp(Application):
+    """2-D 4-point halo exchange on the most-square process grid."""
+
+    name = "stencil"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        *,
+        iterations: int = 10,
+        nbytes: int = 32 * 1024,
+        compute: float = 0.0,
+    ) -> None:
+        super().__init__(num_ranks)
+        self.iterations = check_positive_int(iterations, "iterations")
+        self.nbytes = check_positive_int(nbytes, "nbytes")
+        if compute < 0:
+            raise ValueError("compute must be >= 0")
+        self.compute = float(compute)
+        self.rows, self.cols = grid_shape(num_ranks)
+
+    def program(self, ctx: RankContext) -> Generator[Operation, None, None]:
+        i, j = divmod(ctx.rank, self.cols)
+        neighbors = []
+        if i > 0:
+            neighbors.append((i - 1) * self.cols + j)
+        if i < self.rows - 1:
+            neighbors.append((i + 1) * self.cols + j)
+        if j > 0:
+            neighbors.append(i * self.cols + (j - 1))
+        if j < self.cols - 1:
+            neighbors.append(i * self.cols + (j + 1))
+
+        for _ in range(self.iterations):
+            if self.compute:
+                yield Compute(self.compute)
+            for nb in neighbors:
+                yield Send(dst=nb, nbytes=self.nbytes, tag=42)
+            for nb in neighbors:
+                yield Recv(src=nb, tag=42)
+
+
+class RandomSparseApp(Application):
+    """Seeded random sparse communication with symmetric channels.
+
+    Every rank exchanges with ``degree`` pseudo-random circulant peers
+    (offset scheme, so the receive side is derivable locally), with
+    per-peer sizes drawn once at construction.
+    """
+
+    name = "random-sparse"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        *,
+        iterations: int = 5,
+        degree: int = 4,
+        max_bytes: int = 128 * 1024,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_ranks)
+        self.iterations = check_positive_int(iterations, "iterations")
+        self.degree = check_positive_int(degree, "degree")
+        self.max_bytes = check_positive_int(max_bytes, "max_bytes")
+        rng = np.random.default_rng(seed)
+        k = min(self.degree, num_ranks - 1) if num_ranks > 1 else 0
+        offsets: list[int] = []
+        while len(offsets) < k:
+            off = int(rng.integers(1, num_ranks))
+            if off not in offsets:
+                offsets.append(off)
+        self.offsets = offsets
+        self.sizes = [
+            max(1, int(rng.integers(1, self.max_bytes))) for _ in offsets
+        ]
+
+    def program(self, ctx: RankContext) -> Generator[Operation, None, None]:
+        for _ in range(self.iterations):
+            for off, nbytes in zip(self.offsets, self.sizes):
+                yield Send(dst=(ctx.rank + off) % ctx.size, nbytes=nbytes, tag=43)
+            for off in self.offsets:
+                yield Recv(src=(ctx.rank - off) % ctx.size, tag=43)
+
+
+class UniformApp(Application):
+    """Tiny uniform all-to-all traffic — the nothing-to-optimize control."""
+
+    name = "uniform"
+
+    def __init__(
+        self, num_ranks: int, *, iterations: int = 2, nbytes: int = 1024
+    ) -> None:
+        super().__init__(num_ranks)
+        self.iterations = check_positive_int(iterations, "iterations")
+        self.nbytes = check_positive_int(nbytes, "nbytes")
+
+    def program(self, ctx: RankContext) -> Generator[Operation, None, None]:
+        for _ in range(self.iterations):
+            for step in range(1, ctx.size):
+                yield Send(
+                    dst=(ctx.rank + step) % ctx.size, nbytes=self.nbytes, tag=44
+                )
+            for step in range(1, ctx.size):
+                yield Recv(src=(ctx.rank - step) % ctx.size, tag=44)

@@ -1,0 +1,39 @@
+"""Comparison mappers from the paper's evaluation: Baseline (random),
+Greedy (Hoefler & Snir), MPIPP (Chen et al.), and the Monte Carlo
+best-of-K search, plus the k-way partitioning substrate MPIPP builds on.
+"""
+
+from .annealing import SimulatedAnnealingMapper
+from .greedy import GreedyMapper, site_total_bandwidth
+from .kway import kway_partition, weighted_cut
+from .montecarlo import (
+    MonteCarloMapper,
+    MonteCarloResult,
+    best_of_k_curve,
+    empirical_cdf,
+    monte_carlo_costs,
+    quantile_of_cost,
+    sample_assignments,
+)
+from .mpipp import MPIPPMapper
+from .random_mapping import RandomMapper, random_assignment
+from .treematch import TreeMatchMapper
+
+__all__ = [
+    "SimulatedAnnealingMapper",
+    "GreedyMapper",
+    "site_total_bandwidth",
+    "kway_partition",
+    "weighted_cut",
+    "MonteCarloMapper",
+    "MonteCarloResult",
+    "best_of_k_curve",
+    "empirical_cdf",
+    "monte_carlo_costs",
+    "quantile_of_cost",
+    "sample_assignments",
+    "MPIPPMapper",
+    "RandomMapper",
+    "random_assignment",
+    "TreeMatchMapper",
+]

@@ -1,0 +1,49 @@
+"""The Baseline mapper: constraint-respecting random placement.
+
+The paper's Baseline "simulates the scenario of running directly in the
+geo-distributed data centers without any optimization" — each process goes
+to a random node.  Pinned processes still honor their constraint and no
+site is overfilled, so the result is always feasible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.constraints import constrained_sites_available
+from ..core.mapping import Mapper, register_mapper
+from ..core.problem import UNCONSTRAINED, MappingProblem
+
+__all__ = ["RandomMapper", "random_assignment"]
+
+
+def random_assignment(
+    problem: MappingProblem, rng: np.random.Generator
+) -> np.ndarray:
+    """One uniformly random feasible assignment.
+
+    Free processes are matched to a random permutation of the free node
+    slots, so every feasible placement of the free processes is equally
+    likely.
+    """
+    P = problem.constraints.copy()
+    free = np.flatnonzero(P == UNCONSTRAINED)
+    if free.size == 0:
+        return P
+    remaining = constrained_sites_available(problem.constraints, problem.capacities)
+    slots = np.repeat(np.arange(problem.num_sites), remaining)
+    chosen = rng.choice(slots.size, size=free.size, replace=False)
+    P[free] = slots[chosen]
+    return P
+
+
+class RandomMapper(Mapper):
+    """The paper's Baseline approach (random mapping)."""
+
+    name = "baseline"
+
+    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+        return random_assignment(problem, rng)
+
+
+register_mapper(RandomMapper, RandomMapper.name)

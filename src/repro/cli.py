@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``regions``
+    List the region catalog of a provider, with coordinates.
+``calibrate``
+    Realize a topology over named regions and print its calibrated
+    latency/bandwidth matrices (the paper's LT and BT).
+``map``
+    Profile an application, map it with one algorithm, and print the
+    assignment and its cost.
+``compare``
+    The full experiment: profile, map with all four algorithms, simulate,
+    and print the improvement table.
+
+Examples
+--------
+::
+
+    python -m repro regions --provider ec2
+    python -m repro calibrate --regions us-east-1 eu-west-1 --nodes 4
+    python -m repro map --app LU --mapper geo-distributed
+    python -m repro compare --app K-means --constraint-ratio 0.4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .apps import PAPER_APPS, make_paper_app
+from .cloud import CloudTopology, list_regions
+from .cloud.regions import PAPER_EC2_REGIONS
+from .core import available_mappers, get_mapper
+from .exp import (
+    build_problem,
+    default_mappers,
+    format_table,
+    improvement_pct,
+    run_comparison,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Geo-distributed process mapping (SC'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_regions = sub.add_parser("regions", help="list the region catalog")
+    p_regions.add_argument("--provider", default="ec2", choices=["ec2", "azure"])
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--regions",
+        nargs="+",
+        default=list(PAPER_EC2_REGIONS),
+        help="region keys for the deployment (default: the paper's four)",
+    )
+    common.add_argument("--provider", default="ec2", choices=["ec2", "azure"])
+    common.add_argument(
+        "--instance",
+        default=None,
+        help="instance type (default: m4.xlarge for ec2, standard-d2 for azure)",
+    )
+    common.add_argument("--nodes", type=int, default=16, help="nodes per site")
+    common.add_argument("--seed", type=int, default=0)
+
+    p_cal = sub.add_parser(
+        "calibrate", parents=[common], help="print the calibrated LT/BT matrices"
+    )
+
+    app_common = argparse.ArgumentParser(add_help=False, parents=[common])
+    app_common.add_argument(
+        "--app", default="LU", choices=list(PAPER_APPS), help="workload to map"
+    )
+    app_common.add_argument(
+        "--constraint-ratio",
+        type=float,
+        default=0.2,
+        help="fraction of processes pinned by data-movement constraints",
+    )
+
+    p_map = sub.add_parser("map", parents=[app_common], help="map with one algorithm")
+    p_map.add_argument(
+        "--mapper",
+        default="geo-distributed",
+        help=f"one of: {', '.join(available_mappers())}",
+    )
+
+    sub.add_parser(
+        "compare", parents=[app_common], help="compare all four algorithms"
+    )
+    return parser
+
+
+def _topology(args) -> CloudTopology:
+    instance = args.instance or ("m4.xlarge" if args.provider == "ec2" else "standard-d2")
+    return CloudTopology.from_regions(
+        args.regions,
+        args.nodes,
+        provider=args.provider,
+        instance_type=instance,
+        seed=args.seed,
+    )
+
+
+def _cmd_regions(args) -> int:
+    rows = [
+        [r.key, r.name, f"{r.location.latitude:.2f}", f"{r.location.longitude:.2f}"]
+        for r in list_regions(args.provider)
+    ]
+    print(format_table(["key", "name", "lat", "lon"], rows,
+                       title=f"{args.provider} regions"))
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    topo = _topology(args)
+    keys = [s.region.key for s in topo.sites]
+    lat_rows = [[keys[i]] + list(np.round(topo.latency_s[i] * 1e3, 3)) for i in range(topo.num_sites)]
+    bw_rows = [[keys[i]] + list(np.round(topo.bandwidth_mbs[i], 1)) for i in range(topo.num_sites)]
+    print(format_table(["from \\ to"] + keys, lat_rows, title="LT: latency (ms)"))
+    print()
+    print(format_table(["from \\ to"] + keys, bw_rows, title="BT: bandwidth (MB/s)"))
+    return 0
+
+
+def _cmd_map(args) -> int:
+    topo = _topology(args)
+    app = make_paper_app(args.app, topo.total_nodes)
+    problem = build_problem(
+        app, topo, constraint_ratio=args.constraint_ratio, seed=args.seed
+    )
+    mapper = get_mapper(args.mapper)
+    mapping = mapper.map(problem, seed=args.seed)
+    print(
+        f"{args.app} ({app.num_ranks} processes) mapped by {mapping.mapper}: "
+        f"cost={mapping.cost:.3f}, overhead={mapping.elapsed_s * 1e3:.1f} ms"
+    )
+    loads = mapping.site_loads(problem.num_sites)
+    rows = [
+        [s.region.key, int(loads[s.index]), int(s.capacity)] for s in topo.sites
+    ]
+    print(format_table(["site", "processes", "capacity"], rows))
+    print(f"assignment: {mapping.assignment.tolist()}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    topo = _topology(args)
+    app = make_paper_app(args.app, topo.total_nodes)
+    problem = build_problem(
+        app, topo, constraint_ratio=args.constraint_ratio, seed=args.seed
+    )
+    results = run_comparison(app, problem, default_mappers(), seed=args.seed)
+    base = results["Baseline"]
+    rows = [
+        [
+            name,
+            r.mapping.cost,
+            r.total_time_s,
+            improvement_pct(base.total_time_s, r.total_time_s),
+            r.mapping.elapsed_s * 1e3,
+        ]
+        for name, r in results.items()
+    ]
+    print(
+        format_table(
+            ["mapper", "comm cost", "sim time (s)", "improvement %", "overhead ms"],
+            rows,
+            title=f"{args.app} on {len(args.regions)} sites x {args.nodes} nodes",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "regions": _cmd_regions,
+    "calibrate": _cmd_calibrate,
+    "map": _cmd_map,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Geo-distributed cloud substrate: regions, instances, network model,
+topology realization and simulated calibration.
+
+This package replaces the paper's physical infrastructure (Amazon EC2 and
+Windows Azure deployments, SKaMPI calibration) with synthetic equivalents
+calibrated to the measurements the paper publishes in Tables 1-3.
+"""
+
+from .calibration import (
+    BANDWIDTH_PROBE_BYTES,
+    LATENCY_PROBE_BYTES,
+    CalibrationResult,
+    PingpongCalibrator,
+    calibration_overhead_minutes,
+)
+from .geo import EARTH_RADIUS_KM, GeoCoordinate, haversine_km, pairwise_distances_km
+from .instances import INSTANCE_TYPES, PAPER_INSTANCE_TYPE, InstanceType, get_instance_type
+from .netmodel import NetAnchor, NetworkModel, azure_anchors, ec2_anchors
+from .regions import (
+    AZURE_REGIONS,
+    EC2_REGIONS,
+    PAPER_EC2_REGIONS,
+    Region,
+    get_region,
+    list_regions,
+)
+from .topology import CloudTopology, Site, paper_topology
+
+__all__ = [
+    "BANDWIDTH_PROBE_BYTES",
+    "LATENCY_PROBE_BYTES",
+    "CalibrationResult",
+    "PingpongCalibrator",
+    "calibration_overhead_minutes",
+    "EARTH_RADIUS_KM",
+    "GeoCoordinate",
+    "haversine_km",
+    "pairwise_distances_km",
+    "INSTANCE_TYPES",
+    "PAPER_INSTANCE_TYPE",
+    "InstanceType",
+    "get_instance_type",
+    "NetAnchor",
+    "NetworkModel",
+    "azure_anchors",
+    "ec2_anchors",
+    "AZURE_REGIONS",
+    "EC2_REGIONS",
+    "PAPER_EC2_REGIONS",
+    "Region",
+    "get_region",
+    "list_regions",
+    "CloudTopology",
+    "Site",
+    "paper_topology",
+]

@@ -1,0 +1,91 @@
+"""Geographic primitives: coordinates and great-circle distances.
+
+The paper's second empirical observation is that cross-region network
+performance correlates with geographic distance, and its grouping
+optimization clusters sites by physical coordinates.  This module provides
+the coordinate type and the distance metric everything else builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GeoCoordinate", "haversine_km", "pairwise_distances_km", "EARTH_RADIUS_KM"]
+
+#: Mean Earth radius used for great-circle distances.
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, slots=True)
+class GeoCoordinate:
+    """A (latitude, longitude) pair in degrees.
+
+    Latitude is in [-90, 90], longitude in [-180, 180].  Instances are
+    immutable and hashable so they can key caches and sets.
+    """
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude must be in [-90, 90], got {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude must be in [-180, 180], got {self.longitude}")
+
+    def distance_km(self, other: "GeoCoordinate") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self.latitude, self.longitude, other.latitude, other.longitude)
+
+    def as_array(self) -> np.ndarray:
+        """Return ``[latitude, longitude]`` as a float64 array."""
+        return np.array([self.latitude, self.longitude], dtype=np.float64)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points, in kilometres.
+
+    Uses the haversine formula, which is numerically stable for both very
+    small and antipodal separations.
+    """
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    # Clamp to [0, 1] to guard against round-off pushing sqrt out of domain.
+    a = min(1.0, max(0.0, a))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def pairwise_distances_km(coords: "np.ndarray | list[GeoCoordinate]") -> np.ndarray:
+    """All-pairs haversine distance matrix.
+
+    Parameters
+    ----------
+    coords:
+        Either a list of :class:`GeoCoordinate` or an (M, 2) array of
+        ``[lat, lon]`` rows in degrees.
+
+    Returns
+    -------
+    numpy.ndarray
+        (M, M) symmetric matrix of distances in kilometres with a zero
+        diagonal.
+    """
+    if len(coords) and isinstance(coords[0], GeoCoordinate):
+        arr = np.array([c.as_array() for c in coords], dtype=np.float64)
+    else:
+        arr = np.asarray(coords, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"coords must be (M, 2) [lat, lon] rows, got shape {arr.shape}")
+
+    lat = np.radians(arr[:, 0])[:, None]
+    lon = np.radians(arr[:, 1])[:, None]
+    dphi = lat - lat.T
+    dlam = lon - lon.T
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(lat) * np.cos(lat.T) * np.sin(dlam / 2.0) ** 2
+    a = np.clip(a, 0.0, 1.0)
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a))

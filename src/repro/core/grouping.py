@@ -1,0 +1,179 @@
+"""Site grouping via K-means clustering (paper Section 4.2).
+
+When M grows, the Geo-distributed algorithm's O(kappa!) order enumeration
+explodes, so the paper first clusters nearby sites into kappa groups using
+K-means over the sites' physical coordinates PC (Euclidean distance, Forgy
+initialization) and treats each group as one large site.
+
+The K-means here is written from scratch (Lloyd iterations, Forgy init)
+both because the paper specifies those choices and because the same solver
+doubles as the computational core of the parallel K-means *application*
+in :mod:`repro.apps.kmeans`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+
+__all__ = ["KMeansResult", "kmeans", "group_sites", "SiteGroup"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Converged K-means clustering.
+
+    Attributes
+    ----------
+    labels:
+        (P,) cluster index per point.
+    centroids:
+        (k, D) cluster means.
+    inertia:
+        Sum of squared distances of points to their assigned centroid.
+    iterations:
+        Lloyd iterations executed before convergence (or the cap).
+    converged:
+        True if assignments stopped changing before the iteration cap.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """(P, k) squared Euclidean distances, computed without (P, k, D) blowup."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; clip tiny negatives from
+    # cancellation so argmin/sqrt stay safe.
+    p2 = np.einsum("ij,ij->i", points, points)[:, None]
+    c2 = np.einsum("ij,ij->i", centroids, centroids)[None, :]
+    d2 = p2 - 2.0 * points @ centroids.T + c2
+    return np.maximum(d2, 0.0)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    max_iter: int = 100,
+) -> KMeansResult:
+    """Lloyd's K-means with Forgy initialization.
+
+    Parameters
+    ----------
+    points:
+        (P, D) data. For site grouping, rows are [lat, lon].
+    k:
+        Number of clusters; must satisfy ``1 <= k <= P``.
+    seed:
+        Seed for the Forgy draw (k distinct points as initial means).
+    max_iter:
+        Iteration cap; clustering site coordinates converges in a handful.
+
+    Notes
+    -----
+    Empty clusters are re-seeded with the point farthest from its current
+    centroid, a standard Lloyd repair that keeps exactly k groups — the
+    order-enumeration stage relies on that.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {pts.shape}")
+    n = pts.shape[0]
+    check_positive_int(k, "k")
+    if k > n:
+        raise ValueError(f"k={k} exceeds number of points {n}")
+    check_positive_int(max_iter, "max_iter")
+    rng = as_rng(seed)
+
+    # Forgy: choose k distinct observations as the initial means.
+    centroids = pts[rng.choice(n, size=k, replace=False)].copy()
+    labels = np.full(n, -1, dtype=np.int64)
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        d2 = _squared_distances(pts, centroids)
+        new_labels = d2.argmin(axis=1)
+
+        # Re-seed empty clusters from the worst-fit point.
+        for c in range(k):
+            if not np.any(new_labels == c):
+                worst = int(d2[np.arange(n), new_labels].argmax())
+                new_labels[worst] = c
+
+        if np.array_equal(new_labels, labels):
+            converged = True
+            break
+        labels = new_labels
+        for c in range(k):
+            members = pts[labels == c]
+            centroids[c] = members.mean(axis=0)
+
+    d2 = _squared_distances(pts, centroids)
+    inertia = float(d2[np.arange(n), labels].sum())
+    return KMeansResult(
+        labels=labels,
+        centroids=centroids,
+        inertia=inertia,
+        iterations=it,
+        converged=converged,
+    )
+
+
+@dataclass(frozen=True)
+class SiteGroup:
+    """A cluster of sites treated as one large site by Algorithm 1.
+
+    Attributes
+    ----------
+    index:
+        Group id in 0..kappa-1.
+    sites:
+        Site indices belonging to the group, sorted.
+    centroid:
+        Mean [lat, lon] of the member sites.
+    """
+
+    index: int
+    sites: tuple[int, ...]
+    centroid: np.ndarray
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+
+def group_sites(
+    coordinates: np.ndarray,
+    kappa: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> list[SiteGroup]:
+    """Cluster M sites into ``min(kappa, M)`` groups by physical position.
+
+    Returns the groups in ascending index order; every site appears in
+    exactly one group and no group is empty.
+    """
+    coords = np.asarray(coordinates, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError(f"coordinates must be (M, 2), got shape {coords.shape}")
+    m = coords.shape[0]
+    check_positive_int(kappa, "kappa")
+    k = min(kappa, m)
+    result = kmeans(coords, k, seed=seed)
+    groups = []
+    for c in range(k):
+        members = tuple(int(i) for i in np.flatnonzero(result.labels == c))
+        groups.append(SiteGroup(index=c, sites=members, centroid=result.centroids[c].copy()))
+    return groups

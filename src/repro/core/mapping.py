@@ -1,0 +1,190 @@
+"""Mapping results, feasibility checks, and the mapper interface.
+
+A :class:`Mapping` is the paper's vector P — ``assignment[i]`` is the site
+hosting process i — together with its cost and provenance.  All mapping
+algorithms (the paper's Geo-distributed method and the Baseline / Greedy /
+MPIPP comparison methods) implement the :class:`Mapper` interface and
+register themselves in a global registry so experiments can be configured
+by name.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .problem import UNCONSTRAINED, MappingProblem
+
+__all__ = [
+    "Mapping",
+    "Mapper",
+    "FeasibilityError",
+    "validate_assignment",
+    "register_mapper",
+    "get_mapper",
+    "available_mappers",
+]
+
+
+class FeasibilityError(ValueError):
+    """Raised when an assignment violates capacities or constraints."""
+
+
+def validate_assignment(problem: MappingProblem, assignment: np.ndarray) -> np.ndarray:
+    """Check P against Formula (5)'s two constraint families.
+
+    1. pinned processes sit on their required site:
+       ``(P - C) .* C == 0`` in the paper's component-wise notation;
+    2. no site hosts more processes than it has nodes:
+       ``count(j, P) <= I[j]``.
+
+    Returns the assignment as int64 on success, raises
+    :class:`FeasibilityError` otherwise.
+    """
+    n, m = problem.num_processes, problem.num_sites
+    P = np.asarray(assignment)
+    if P.shape != (n,):
+        raise FeasibilityError(f"assignment must have shape ({n},), got {P.shape}")
+    if P.dtype.kind not in "iu":
+        raise FeasibilityError(f"assignment must be integer, got dtype {P.dtype}")
+    P = P.astype(np.int64, copy=False)
+    if np.any((P < 0) | (P >= m)):
+        raise FeasibilityError("assignment references sites outside 0..M-1")
+
+    pinned = problem.constraints != UNCONSTRAINED
+    broken = pinned & (P != problem.constraints)
+    if np.any(broken):
+        raise FeasibilityError(
+            f"data-movement constraints violated for processes "
+            f"{np.flatnonzero(broken)[:10].tolist()}"
+        )
+    loads = np.bincount(P, minlength=m)
+    over = loads > problem.capacities
+    if np.any(over):
+        raise FeasibilityError(
+            f"site capacities exceeded at sites {np.flatnonzero(over).tolist()} "
+            f"(loads {loads[over].tolist()} vs capacities "
+            f"{problem.capacities[over].tolist()})"
+        )
+    return P
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A feasible solution to a mapping problem.
+
+    Attributes
+    ----------
+    assignment:
+        (N,) site index per process (the paper's P).
+    cost:
+        COST(P) under the alpha-beta model, in seconds of link time.
+    mapper:
+        Name of the algorithm that produced it.
+    elapsed_s:
+        Wall-clock optimization time — the paper's "optimization overhead"
+        (Fig. 4).
+    meta:
+        Free-form extra data (e.g. the group order the Geo mapper chose).
+    """
+
+    assignment: np.ndarray
+    cost: float
+    mapper: str
+    elapsed_s: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.assignment, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"assignment must be 1-D, got shape {arr.shape}")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "assignment", arr)
+        if not np.isfinite(self.cost):
+            raise ValueError(f"cost must be finite, got {self.cost}")
+
+    @property
+    def num_processes(self) -> int:
+        return self.assignment.shape[0]
+
+    def site_loads(self, num_sites: int | None = None) -> np.ndarray:
+        """Processes per site under this mapping."""
+        m = num_sites if num_sites is not None else int(self.assignment.max()) + 1
+        return np.bincount(self.assignment, minlength=m)
+
+    def processes_on(self, site: int) -> np.ndarray:
+        """Indices of the processes mapped to ``site``."""
+        return np.flatnonzero(self.assignment == site)
+
+
+class Mapper(abc.ABC):
+    """Interface all mapping algorithms implement.
+
+    Subclasses implement :meth:`_solve` returning a raw assignment; the
+    public :meth:`map` wraps it with timing, feasibility validation and
+    cost evaluation so every algorithm reports comparable results.
+    """
+
+    #: Registry / display name; subclasses must override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+        """Produce an (N,) site assignment for ``problem``."""
+
+    def map(
+        self,
+        problem: MappingProblem,
+        *,
+        seed: int | np.random.Generator | None = None,
+    ) -> Mapping:
+        """Solve ``problem`` and return a validated, costed :class:`Mapping`."""
+        from .._validation import as_rng
+        from .cost import total_cost
+
+        rng = as_rng(seed)
+        start = time.perf_counter()
+        assignment = self._solve(problem, rng)
+        elapsed = time.perf_counter() - start
+        P = validate_assignment(problem, assignment)
+        return Mapping(
+            assignment=P,
+            cost=total_cost(problem, P),
+            mapper=self.name,
+            elapsed_s=elapsed,
+        )
+
+
+_REGISTRY: dict[str, Callable[..., Mapper]] = {}
+
+
+def register_mapper(factory: Callable[..., Mapper] | type, name: str | None = None):
+    """Register a mapper factory under a name (usable as a decorator)."""
+    key = name or getattr(factory, "name", None)
+    if not key or key == "abstract":
+        raise ValueError("mapper must define a non-default 'name' to be registered")
+    if key in _REGISTRY:
+        raise ValueError(f"mapper {key!r} is already registered")
+    _REGISTRY[key] = factory
+    return factory
+
+
+def get_mapper(name: str, **kwargs) -> Mapper:
+    """Instantiate a registered mapper by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mapper {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_mappers() -> list[str]:
+    """Names of all registered mappers."""
+    return sorted(_REGISTRY)

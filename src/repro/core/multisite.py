@@ -1,0 +1,351 @@
+"""Multi-site data-movement constraints (the paper's stated future work).
+
+Section 3.1: "In this paper, we only consider the data movement
+constraint on individual sites and leave the extension to multiple site
+constraints in our future work."  This module builds that extension: a
+process may be restricted to an arbitrary *set* of admissible sites —
+e.g. "EU data may run in Ireland or Frankfurt, nowhere else".
+
+Representation: a boolean ``allowed`` matrix of shape (N, M);
+``allowed[i, j]`` means process i may run on site j.  A classic
+single-site pin is a row with one True; an unconstrained process is an
+all-True row.  The helpers here convert, validate, check feasibility
+(via a maximum-flow argument on the bipartite process/site graph), and
+repair/construct assignments.  :class:`MultiSiteGeoMapper` extends
+Algorithm 1 to honor set constraints during the greedy fill.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import as_rng, check_fraction
+from .geodist import GeoDistributedMapper, _affinity_row, _symmetric_traffic
+from .grouping import SiteGroup, group_sites
+from .mapping import FeasibilityError, Mapper, Mapping, register_mapper, validate_assignment
+from .problem import UNCONSTRAINED, MappingProblem
+
+__all__ = [
+    "allowed_from_constraints",
+    "validate_allowed",
+    "multisite_feasible",
+    "random_allowed_assignment",
+    "random_multisite_constraints",
+    "validate_multisite_assignment",
+    "MultiSiteGeoMapper",
+]
+
+
+def allowed_from_constraints(constraints: np.ndarray, num_sites: int) -> np.ndarray:
+    """Lift a single-site constraint vector to an allowed matrix."""
+    cons = np.asarray(constraints, dtype=np.int64)
+    n = cons.shape[0]
+    allowed = np.ones((n, num_sites), dtype=bool)
+    pinned = cons != UNCONSTRAINED
+    allowed[pinned, :] = False
+    allowed[np.flatnonzero(pinned), cons[pinned]] = True
+    return allowed
+
+
+def validate_allowed(allowed: np.ndarray, n: int, m: int) -> np.ndarray:
+    """Shape/content checks for an allowed matrix."""
+    arr = np.asarray(allowed)
+    if arr.shape != (n, m):
+        raise ValueError(f"allowed must be ({n}, {m}), got {arr.shape}")
+    if arr.dtype != bool:
+        arr = arr.astype(bool)
+    empty = ~arr.any(axis=1)
+    if np.any(empty):
+        raise ValueError(
+            f"processes {np.flatnonzero(empty)[:10].tolist()} have no admissible site"
+        )
+    return arr
+
+
+def multisite_feasible(allowed: np.ndarray, capacities: np.ndarray) -> bool:
+    """Whether some assignment satisfies the set constraints + capacities.
+
+    This is a bipartite b-matching feasibility question; we answer it
+    with a max-flow computation (source -> processes -> sites -> sink)
+    using scipy's sparse max-flow.
+    """
+    allowed = np.asarray(allowed, dtype=bool)
+    caps = np.asarray(capacities, dtype=np.int64)
+    n, m = allowed.shape
+    if caps.shape != (m,):
+        raise ValueError(f"capacities must have length {m}, got {caps.shape}")
+    if caps.sum() < n:
+        return False
+
+    from scipy.sparse.csgraph import maximum_flow
+
+    # Node ids: 0 = source, 1..n = processes, n+1..n+m = sites, n+m+1 = sink.
+    size = n + m + 2
+    rows, cols, data = [], [], []
+    for i in range(n):
+        rows.append(0)
+        cols.append(1 + i)
+        data.append(1)
+    pr, si = np.nonzero(allowed)
+    for i, j in zip(pr, si):
+        rows.append(1 + i)
+        cols.append(1 + n + j)
+        data.append(1)
+    for j in range(m):
+        rows.append(1 + n + j)
+        cols.append(n + m + 1)
+        data.append(int(caps[j]))
+    graph = sp.csr_matrix((data, (rows, cols)), shape=(size, size), dtype=np.int32)
+    flow = maximum_flow(graph, 0, n + m + 1)
+    return int(flow.flow_value) == n
+
+
+def random_multisite_constraints(
+    num_processes: int,
+    capacities: np.ndarray,
+    ratio: float,
+    *,
+    sites_per_constraint: int = 2,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Random allowed matrix: a ``ratio`` share of processes is limited
+    to ``sites_per_constraint`` random sites (always kept feasible)."""
+    ratio = check_fraction(ratio, "ratio")
+    caps = np.asarray(capacities, dtype=np.int64)
+    m = caps.shape[0]
+    if not 1 <= sites_per_constraint <= m:
+        raise ValueError(
+            f"sites_per_constraint must be in [1, {m}], got {sites_per_constraint}"
+        )
+    rng = as_rng(seed)
+    n = int(num_processes)
+    allowed = np.ones((n, m), dtype=bool)
+    k = int(round(ratio * n))
+    if k == 0:
+        return allowed
+    chosen = rng.choice(n, size=k, replace=False)
+    for proc in chosen:
+        sites = rng.choice(m, size=sites_per_constraint, replace=False)
+        allowed[proc, :] = False
+        allowed[proc, sites] = True
+        if not multisite_feasible(allowed, caps):
+            # Roll back the restriction that broke feasibility.
+            allowed[proc, :] = True
+    return allowed
+
+
+def validate_multisite_assignment(
+    problem: MappingProblem, allowed: np.ndarray, assignment: np.ndarray
+) -> np.ndarray:
+    """Capacity check plus the set-constraint check."""
+    n, m = problem.num_processes, problem.num_sites
+    allowed = validate_allowed(allowed, n, m)
+    P = np.asarray(assignment)
+    if P.shape != (n,) or P.dtype.kind not in "iu":
+        raise FeasibilityError(f"assignment must be integer of shape ({n},)")
+    P = P.astype(np.int64, copy=False)
+    if np.any((P < 0) | (P >= m)):
+        raise FeasibilityError("assignment references sites outside 0..M-1")
+    broken = ~allowed[np.arange(n), P]
+    if np.any(broken):
+        raise FeasibilityError(
+            f"multi-site constraints violated for processes "
+            f"{np.flatnonzero(broken)[:10].tolist()}"
+        )
+    loads = np.bincount(P, minlength=m)
+    if np.any(loads > problem.capacities):
+        raise FeasibilityError("site capacities exceeded")
+    return P
+
+
+def random_allowed_assignment(
+    allowed: np.ndarray,
+    capacities: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_tries: int = 64,
+) -> np.ndarray:
+    """A random assignment satisfying set constraints and capacities.
+
+    Places the most-restricted processes first (fewest admissible sites),
+    choosing uniformly among their open sites; retries with a new
+    shuffle on dead ends, which for feasible instances succeeds quickly.
+    """
+    allowed = np.asarray(allowed, dtype=bool)
+    caps = np.asarray(capacities, dtype=np.int64)
+    n, m = allowed.shape
+    degrees = allowed.sum(axis=1)
+    for _ in range(max_tries):
+        order = np.lexsort((rng.permutation(n), degrees))
+        remaining = caps.copy()
+        P = np.full(n, -1, dtype=np.int64)
+        ok = True
+        for i in order:
+            open_sites = np.flatnonzero(allowed[i] & (remaining > 0))
+            if open_sites.size == 0:
+                ok = False
+                break
+            site = int(rng.choice(open_sites))
+            P[i] = site
+            remaining[site] -= 1
+        if ok:
+            return P
+    raise FeasibilityError(
+        "could not construct a feasible assignment; instance may be "
+        "infeasible (check multisite_feasible) or extremely tight"
+    )
+
+
+class MultiSiteGeoMapper(GeoDistributedMapper):
+    """Algorithm 1 extended to multi-site (set) constraints.
+
+    The problem's own ``constraints`` vector is ignored; instead an
+    ``allowed`` (N, M) matrix supplied at construction governs placement.
+    During the greedy fill a process may only be selected for a site it
+    admits, and a completion pass guarantees every process lands
+    somewhere admissible (falling back to a constrained random repair if
+    the greedy order dead-ends).
+    """
+
+    name = "geo-distributed-multisite"
+
+    def __init__(self, allowed: np.ndarray, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._allowed_input = np.asarray(allowed, dtype=bool)
+
+    # The base Mapper.map validates against the problem's single-site
+    # constraints, which stay UNCONSTRAINED here; the multi-site check is
+    # exposed via validate_multisite_assignment and exercised in tests.
+
+    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+        n, m = problem.num_processes, problem.num_sites
+        allowed = validate_allowed(self._allowed_input, n, m)
+        if np.any(problem.constraints != UNCONSTRAINED):
+            raise ValueError(
+                "MultiSiteGeoMapper expects the problem's single-site "
+                "constraint vector to be empty; encode pins as single-True "
+                "rows of `allowed` instead"
+            )
+        if not multisite_feasible(allowed, problem.capacities):
+            raise FeasibilityError("multi-site constraints are infeasible")
+
+        if problem.coordinates is None:
+            groups = [SiteGroup(0, tuple(range(m)), np.zeros(2))]
+        else:
+            groups = group_sites(problem.coordinates, self.kappa, seed=self.grouping_seed)
+
+        quantity = problem.communication_quantity()
+        sym = _symmetric_traffic(problem)
+
+        from itertools import permutations
+
+        from .cost import total_cost
+
+        best_P, best_cost = None, np.inf
+        for count, order in enumerate(permutations(range(len(groups)))):
+            if self.max_orders is not None and count >= self.max_orders:
+                break
+            P = self._fill_with_sets(
+                problem, [groups[g] for g in order], quantity, sym, allowed, rng
+            )
+            if P is None:
+                continue
+            cost = total_cost(problem, P)
+            if cost < best_cost:
+                best_cost, best_P = cost, P
+        if best_P is None:
+            # Greedy dead-ended on every order; fall back to a feasible
+            # random construction so the mapper never fails on feasible
+            # instances.
+            best_P = random_allowed_assignment(allowed, problem.capacities, rng)
+        return best_P
+
+    def _fill_with_sets(
+        self, problem, ordered_groups, quantity, sym, allowed, rng
+    ) -> np.ndarray | None:
+        n, m = problem.num_processes, problem.num_sites
+        P = np.full(n, -1, dtype=np.int64)
+        selected = np.zeros(n, dtype=bool)
+        avail = problem.capacities.copy()
+        site_done = avail == 0
+        neg_inf = -np.inf
+        num_placed = 0
+
+        for group in ordered_groups:
+            if num_placed == n:
+                break
+            group_sites_arr = np.array(group.sites, dtype=np.int64)
+            for _ in range(len(group_sites_arr)):
+                if num_placed == n:
+                    break
+                open_mask = ~site_done[group_sites_arr]
+                if not np.any(open_mask):
+                    break
+                open_sites = group_sites_arr[open_mask]
+                site = int(open_sites[np.argmax(avail[open_sites])])
+
+                slots = int(avail[site])
+                if slots > 0:
+                    admissible = allowed[:, site] & ~selected
+                    if np.any(admissible):
+                        masked_q = np.where(admissible, quantity, neg_inf)
+                        t0 = int(np.argmax(masked_q))
+                        P[t0] = site
+                        selected[t0] = True
+                        avail[site] -= 1
+                        num_placed += 1
+
+                        w = _affinity_row(sym, t0).copy()
+                        for _ in range(slots - 1):
+                            if num_placed == n:
+                                break
+                            admissible = allowed[:, site] & ~selected
+                            if not np.any(admissible):
+                                break
+                            masked_w = np.where(admissible, w, neg_inf)
+                            t = int(np.argmax(masked_w))
+                            if masked_w[t] <= 0.0:
+                                t = int(
+                                    np.argmax(np.where(admissible, quantity, neg_inf))
+                                )
+                            P[t] = site
+                            selected[t] = True
+                            avail[site] -= 1
+                            num_placed += 1
+                            w += _affinity_row(sym, t)
+                site_done[site] = True
+
+        if num_placed < n:
+            # Completion pass: place leftovers on any admissible open site
+            # (most-restricted first); when none is open, repair by
+            # relocating a flexible resident of an admissible site to some
+            # other open site it admits (an augmenting path of length 2).
+            leftovers = np.flatnonzero(~selected)
+            degrees = allowed[leftovers].sum(axis=1)
+            for i in leftovers[np.argsort(degrees)]:
+                open_sites = np.flatnonzero(allowed[i] & (avail > 0))
+                if open_sites.size:
+                    site = int(open_sites[0])
+                    P[i] = site
+                    avail[site] -= 1
+                    continue
+                if not self._repair_place(P, int(i), allowed, avail):
+                    return None  # dead end under this order
+        return P
+
+    @staticmethod
+    def _repair_place(
+        P: np.ndarray, i: int, allowed: np.ndarray, avail: np.ndarray
+    ) -> bool:
+        """Free a slot for process ``i`` by relocating one resident."""
+        for s in np.flatnonzero(allowed[i]):
+            for j in np.flatnonzero(P == s):
+                targets = np.flatnonzero(allowed[j] & (avail > 0))
+                if targets.size:
+                    t = int(targets[0])
+                    P[j] = t
+                    avail[t] -= 1
+                    P[i] = int(s)
+                    return True
+        return False

@@ -1,0 +1,227 @@
+"""The geo-distributed process mapping problem (paper Section 3).
+
+A :class:`MappingProblem` bundles everything Formula (4)-(5) needs:
+
+* ``N`` processes with communication matrices ``CG`` (bytes exchanged) and
+  ``AG`` (message counts) — the application side;
+* ``M`` sites with latency matrix ``LT`` (seconds), bandwidth matrix ``BT``
+  (bytes/s), capacity vector ``I`` and physical coordinates ``PC`` — the
+  platform side;
+* a constraint vector ``C`` pinning some processes to sites (data-movement
+  / privacy constraints).
+
+Conventions differ slightly from the paper's notation for ergonomics:
+sites are 0-indexed and an *unconstrained* process has ``C[i] == -1``
+(the paper uses 1-indexed sites with 0 meaning unconstrained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_square_matrix, check_vector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..cloud.topology import CloudTopology
+
+__all__ = ["MappingProblem", "UNCONSTRAINED"]
+
+#: Sentinel constraint value meaning "this process may map anywhere".
+UNCONSTRAINED = -1
+
+
+def _check_comm_matrix(mat, name: str, size: int | None):
+    """Validate a communication matrix, dense or sparse, zeroing nothing.
+
+    Returns the matrix as float64 (CSR for sparse input).  The diagonal
+    must be zero: a process does not pay network cost to talk to itself.
+    """
+    if sp.issparse(mat):
+        m = mat.tocsr().astype(np.float64)
+        if m.shape[0] != m.shape[1]:
+            raise ValueError(f"{name} must be square, got shape {m.shape}")
+        if size is not None and m.shape[0] != size:
+            raise ValueError(f"{name} must be {size}x{size}, got {m.shape}")
+        if m.nnz and m.data.min() < 0:
+            raise ValueError(f"{name} contains negative entries")
+        if np.any(m.diagonal() != 0):
+            raise ValueError(f"{name} must have a zero diagonal")
+        return m
+    arr = check_square_matrix(mat, name, size=size, nonnegative=True)
+    if np.any(np.diagonal(arr) != 0):
+        raise ValueError(f"{name} must have a zero diagonal")
+    return arr
+
+
+@dataclass(frozen=True)
+class MappingProblem:
+    """An instance of the constrained geo-distributed mapping problem.
+
+    Attributes
+    ----------
+    CG:
+        (N, N) communication volume matrix in bytes; ``CG[i, j]`` is the
+        total bytes process i sends to process j.  Dense ndarray or any
+        scipy sparse matrix (stored as CSR).
+    AG:
+        (N, N) message count matrix, same layout as ``CG``.
+    LT:
+        (M, M) latency matrix in seconds (asymmetric in general).
+    BT:
+        (M, M) bandwidth matrix in bytes/s (asymmetric in general).
+    capacities:
+        (M,) nodes available per site, the paper's vector I.
+    constraints:
+        (N,) site index each process is pinned to, or ``UNCONSTRAINED``.
+    coordinates:
+        Optional (M, 2) [lat, lon] per site, the paper's PC matrix; needed
+        by the grouping optimization, optional for everything else.
+    """
+
+    CG: "np.ndarray | sp.csr_matrix"
+    AG: "np.ndarray | sp.csr_matrix"
+    LT: np.ndarray
+    BT: np.ndarray
+    capacities: np.ndarray
+    constraints: np.ndarray = field(default=None)  # type: ignore[assignment]
+    coordinates: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        cg = _check_comm_matrix(self.CG, "CG", None)
+        n = cg.shape[0]
+        ag = _check_comm_matrix(self.AG, "AG", n)
+        object.__setattr__(self, "CG", cg)
+        object.__setattr__(self, "AG", ag)
+
+        lt = check_square_matrix(self.LT, "LT", nonnegative=True)
+        m = lt.shape[0]
+        bt = check_square_matrix(self.BT, "BT", size=m, nonnegative=True)
+        if np.any(bt <= 0):
+            raise ValueError("BT entries must be strictly positive")
+        object.__setattr__(self, "LT", lt)
+        object.__setattr__(self, "BT", bt)
+
+        caps = check_vector(self.capacities, "capacities", size=m)
+        if np.any(caps <= 0):
+            raise ValueError("capacities must be positive")
+        object.__setattr__(self, "capacities", caps)
+
+        if self.constraints is None:
+            cons = np.full(n, UNCONSTRAINED, dtype=np.int64)
+        else:
+            cons = check_vector(self.constraints, "constraints", size=n)
+        bad = (cons != UNCONSTRAINED) & ((cons < 0) | (cons >= m))
+        if np.any(bad):
+            raise ValueError(
+                f"constraints reference invalid sites at processes {np.flatnonzero(bad)[:10]}"
+            )
+        object.__setattr__(self, "constraints", cons)
+
+        if self.coordinates is not None:
+            coords = np.asarray(self.coordinates, dtype=np.float64)
+            if coords.shape != (m, 2):
+                raise ValueError(f"coordinates must be ({m}, 2), got {coords.shape}")
+            object.__setattr__(self, "coordinates", coords)
+
+        if caps.sum() < n:
+            raise ValueError(
+                f"total capacity {caps.sum()} cannot host {n} processes"
+            )
+        pinned = np.bincount(cons[cons != UNCONSTRAINED], minlength=m)
+        if np.any(pinned > caps):
+            over = np.flatnonzero(pinned > caps)
+            raise ValueError(f"constraints overfill sites {over.tolist()}")
+
+        # Freeze what can be frozen (sparse matrices have no writeable flag).
+        for name in ("LT", "BT", "capacities", "constraints"):
+            getattr(self, name).setflags(write=False)
+        if isinstance(self.CG, np.ndarray):
+            self.CG.setflags(write=False)
+        if isinstance(self.AG, np.ndarray):
+            self.AG.setflags(write=False)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def num_processes(self) -> int:
+        """N, the number of parallel processes."""
+        return self.CG.shape[0]
+
+    @property
+    def num_sites(self) -> int:
+        """M, the number of sites."""
+        return self.LT.shape[0]
+
+    @property
+    def is_sparse(self) -> bool:
+        """True when CG/AG are stored sparse (large, structured apps)."""
+        return sp.issparse(self.CG)
+
+    @property
+    def num_constrained(self) -> int:
+        """Number of processes pinned by the constraint vector."""
+        return int(np.count_nonzero(self.constraints != UNCONSTRAINED))
+
+    @property
+    def constraint_ratio(self) -> float:
+        """Fraction of processes pinned (the paper's constraint ratio)."""
+        return self.num_constrained / self.num_processes
+
+    # -------------------------------------------------------------- builders
+
+    @classmethod
+    def from_topology(
+        cls,
+        CG,
+        AG,
+        topology: "CloudTopology",
+        *,
+        constraints: np.ndarray | None = None,
+    ) -> "MappingProblem":
+        """Build a problem from comm matrices plus a realized topology."""
+        return cls(
+            CG=CG,
+            AG=AG,
+            LT=topology.latency_s,
+            BT=topology.bandwidth_Bps,
+            capacities=topology.capacities,
+            constraints=constraints,
+            coordinates=topology.coordinates,
+        )
+
+    # --------------------------------------------------------------- helpers
+
+    def communication_quantity(self) -> np.ndarray:
+        """Total traffic touching each process: q[i] = sum_j CG[i,j]+CG[j,i].
+
+        This is the "communication quantity" Algorithm 1 uses to pick the
+        heaviest process first.
+        """
+        cg = self.CG
+        if sp.issparse(cg):
+            return np.asarray(cg.sum(axis=1)).ravel() + np.asarray(cg.sum(axis=0)).ravel()
+        return cg.sum(axis=1) + cg.sum(axis=0)
+
+    def dense_CG(self) -> np.ndarray:
+        """CG as a dense array (views for dense input, materialized for sparse)."""
+        return self.CG.toarray() if sp.issparse(self.CG) else self.CG
+
+    def dense_AG(self) -> np.ndarray:
+        """AG as a dense array."""
+        return self.AG.toarray() if sp.issparse(self.AG) else self.AG
+
+    def with_constraints(self, constraints: np.ndarray | None) -> "MappingProblem":
+        """Copy of the problem with a different constraint vector."""
+        return MappingProblem(
+            CG=self.CG,
+            AG=self.AG,
+            LT=self.LT,
+            BT=self.BT,
+            capacities=self.capacities,
+            constraints=constraints,
+            coordinates=self.coordinates,
+        )

@@ -1,0 +1,43 @@
+"""Experiment harness: canonical scenarios, the profile->map->simulate
+runner, improvement statistics, and report formatting.
+"""
+
+from .heatmap import ascii_heatmap
+from .improvement import Summary, baseline_reference, improvement_pct, summarize
+from .report import format_matrix_summary, format_series, format_table
+from .sweeps import METRICS, SweepResult, sweep_improvements
+from .runner import RunResult, build_problem, run_comparison, simulate_mapping
+from .scenarios import (
+    OVERHEAD_SCALES,
+    PAPER_CONSTRAINT_RATIO,
+    SIMULATION_SCALES,
+    Scenario,
+    default_mappers,
+    paper_ec2_scenario,
+    scale_scenario,
+)
+
+__all__ = [
+    "ascii_heatmap",
+    "METRICS",
+    "SweepResult",
+    "sweep_improvements",
+    "Summary",
+    "baseline_reference",
+    "improvement_pct",
+    "summarize",
+    "format_matrix_summary",
+    "format_series",
+    "format_table",
+    "RunResult",
+    "build_problem",
+    "run_comparison",
+    "simulate_mapping",
+    "OVERHEAD_SCALES",
+    "PAPER_CONSTRAINT_RATIO",
+    "SIMULATION_SCALES",
+    "Scenario",
+    "default_mappers",
+    "paper_ec2_scenario",
+    "scale_scenario",
+]

@@ -1,0 +1,59 @@
+"""Improvement statistics: the paper's normalized metrics.
+
+Every evaluation figure reports *improvement over Baseline* — the
+percentage by which an algorithm's time undercuts the average random
+mapping's time — or, for the constraint study (Fig. 8), improvement of
+Geo-distributed over Greedy.  This module centralizes those definitions
+plus the repeat/averaging protocol (the paper averages 100 runs and
+reports standard errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["improvement_pct", "Summary", "summarize", "baseline_reference"]
+
+
+def improvement_pct(baseline: float, value: float) -> float:
+    """Percentage improvement of ``value`` over ``baseline``.
+
+    Positive when ``value`` is faster (smaller); 50 means twice as fast.
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 100.0 * (baseline - value) / baseline
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and standard error of a repeated measurement."""
+
+    mean: float
+    std_error: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f} ± {self.std_error:.2f} (n={self.n})"
+
+
+def summarize(values) -> Summary:
+    """Mean ± standard error of a sequence of measurements."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    se = float(arr.std(ddof=1) / np.sqrt(arr.size)) if arr.size > 1 else 0.0
+    return Summary(mean=float(arr.mean()), std_error=se, n=int(arr.size))
+
+
+def baseline_reference(baseline_values) -> float:
+    """The Baseline reference the paper normalizes to: the *average*
+    random-mapping time over its repeats."""
+    arr = np.asarray(list(baseline_values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one baseline measurement")
+    if np.any(arr <= 0):
+        raise ValueError("baseline times must be positive")
+    return float(arr.mean())

@@ -1,0 +1,113 @@
+"""Plain-text tables and series for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figures as text: each
+bench prints the same rows (tables) or series (figures) the paper
+reports.  These helpers keep the formatting uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_matrix_summary"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str | None = None
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with 3 significant-ish decimals; everything else via
+    ``str``.
+    """
+
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            if x == 0:
+                return "0"
+            if abs(x) >= 1000:
+                return f"{x:,.0f}"
+            if abs(x) >= 1:
+                return f"{x:.2f}"
+            return f"{x:.3g}"
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row}"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one x column, one column per series."""
+    headers = [x_label] + list(series.keys())
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x values"
+            )
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_matrix_summary(name: str, cg, ag) -> str:
+    """Compact description of a communication matrix (for Fig. 3).
+
+    Reports rank count, communicating pairs, per-process degree, and the
+    distinct message-size histogram — the features the paper reads off
+    its heatmaps.
+    """
+    import numpy as np
+    import scipy.sparse as sp
+
+    if sp.issparse(cg):
+        n = cg.shape[0]
+        nnz = cg.nnz
+        data = cg.tocoo()
+        total = float(cg.sum())
+        degrees = np.asarray((cg != 0).sum(axis=1)).ravel()
+        avg_sizes = data.data / np.maximum(
+            np.asarray(ag.tocoo().data, dtype=float), 1.0
+        )
+    else:
+        cg = np.asarray(cg)
+        ag = np.asarray(ag)
+        n = cg.shape[0]
+        mask = cg > 0
+        nnz = int(mask.sum())
+        total = float(cg.sum())
+        degrees = mask.sum(axis=1)
+        avg_sizes = cg[mask] / np.maximum(ag[mask], 1.0)
+    uniq = np.unique(np.round(avg_sizes / 1024.0, 1))
+    sizes = ", ".join(f"{s:g}KB" for s in uniq[:6])
+    if uniq.size > 6:
+        sizes += f", ... ({uniq.size} distinct)"
+    return (
+        f"{name}: N={n}, communicating pairs={nnz}, "
+        f"degree min/mean/max={degrees.min()}/{degrees.mean():.1f}/{degrees.max()}, "
+        f"total volume={total / 1e6:.1f} MB, avg message sizes: {sizes}"
+    )

@@ -1,0 +1,105 @@
+"""Multi-seed experiment sweeps with uncertainty (the paper's protocol).
+
+The paper runs every EC2 measurement 100 times and reports means with
+standard-error bars.  :func:`sweep_improvements` packages that protocol:
+run one scenario across seeds (fresh topology jitter, constraint draw
+and mapper RNG per seed), and return per-mapper improvement summaries
+for whichever metrics are requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.mapping import Mapper
+from .improvement import Summary, improvement_pct, summarize
+from .runner import RunResult, run_comparison
+from .scenarios import Scenario
+
+__all__ = ["SweepResult", "sweep_improvements", "METRICS"]
+
+#: Metric extractors available to sweeps.
+METRICS: dict[str, Callable[[RunResult], float]] = {
+    "total_time": lambda r: r.total_time_s,
+    "comm_time": lambda r: r.comm_time_s,
+    "cost": lambda r: r.mapping.cost,
+    "overhead": lambda r: r.mapping.elapsed_s,
+}
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-mapper, per-metric improvement summaries over the seeds.
+
+    ``improvements[metric][mapper]`` is the Summary of the percentage
+    improvement over the Baseline mapper's value of that metric.
+    """
+
+    improvements: dict[str, dict[str, Summary]]
+    seeds: tuple[int, ...]
+
+    def mean(self, metric: str, mapper: str) -> float:
+        """Convenience accessor for a mean improvement."""
+        return self.improvements[metric][mapper].mean
+
+
+def sweep_improvements(
+    scenario_factory: Callable[[int], Scenario],
+    mappers_factory: Callable[[], dict[str, Mapper]],
+    *,
+    seeds: Sequence[int] = range(5),
+    metrics: Sequence[str] = ("total_time", "comm_time", "cost"),
+    baseline_key: str = "Baseline",
+    simulate: bool = True,
+) -> SweepResult:
+    """Run a scenario across seeds and summarize improvements.
+
+    Parameters
+    ----------
+    scenario_factory:
+        Called with each seed; must return a fresh :class:`Scenario`
+        (e.g. ``lambda s: paper_ec2_scenario("LU", seed=s)``).
+    mappers_factory:
+        Called once per seed to get fresh mapper instances.
+    seeds:
+        Seeds to sweep; also passed to the mappers' RNG.
+    metrics:
+        Keys of :data:`METRICS` to summarize.
+    baseline_key:
+        The mapper whose value anchors the improvement percentages.
+    simulate:
+        Forwarded to :func:`repro.exp.runner.run_comparison`; turn off
+        for overhead-only sweeps (time metrics are then NaN).
+    """
+    for metric in metrics:
+        if metric not in METRICS:
+            raise KeyError(f"unknown metric {metric!r}; choose from {sorted(METRICS)}")
+    seeds = tuple(int(s) for s in seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+
+    samples: dict[str, dict[str, list[float]]] = {m: {} for m in metrics}
+    for seed in seeds:
+        scenario = scenario_factory(seed)
+        mappers = mappers_factory()
+        if baseline_key not in mappers:
+            raise KeyError(f"mappers must include the baseline {baseline_key!r}")
+        results = run_comparison(
+            scenario.app, scenario.problem, mappers, seed=seed, simulate=simulate
+        )
+        for metric in metrics:
+            extract = METRICS[metric]
+            base = extract(results[baseline_key])
+            for name, r in results.items():
+                if name == baseline_key:
+                    continue
+                samples[metric].setdefault(name, []).append(
+                    improvement_pct(base, extract(r))
+                )
+
+    improvements = {
+        metric: {name: summarize(vals) for name, vals in per.items()}
+        for metric, per in samples.items()
+    }
+    return SweepResult(improvements=improvements, seeds=seeds)

@@ -1,0 +1,203 @@
+"""Collective operations lowered to point-to-point messages.
+
+The mapping problem only sees point-to-point traffic (CG/AG matrices), so
+the simulated applications express their collectives through these
+generator helpers, which yield the exact message streams of the textbook
+algorithms:
+
+* :func:`bcast` / :func:`reduce` — binomial trees;
+* :func:`allreduce_recursive_doubling` — the hypercube exchange pattern
+  (this is what gives the paper's K-means its "complex" Fig. 3 matrix);
+* :func:`allreduce_ring` — bandwidth-optimal ring (used by the DNN app);
+* :func:`allgather_ring`, :func:`alltoall` — ring / pairwise exchange;
+* :func:`barrier_dissemination` — log-round zero-byte-ish synchronization.
+
+Usage inside a simulated program::
+
+    def program(ctx):
+        yield from allreduce_ring(ctx, nbytes=4 * model_size)
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .engine import RankContext
+from .ops import Operation, Recv, Send
+
+__all__ = [
+    "bcast",
+    "reduce",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "allgather_ring",
+    "alltoall",
+    "barrier_dissemination",
+]
+
+#: Tiny payload used by synchronization-only messages.
+_SYNC_BYTES = 8
+
+
+def _check(ctx: RankContext, nbytes: int) -> None:
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be positive, got {nbytes}")
+    if not 0 <= ctx.rank < ctx.size:
+        raise ValueError(f"invalid context: rank {ctx.rank} of {ctx.size}")
+
+
+def bcast(
+    ctx: RankContext, nbytes: int, *, root: int = 0, tag: int = 1001
+) -> Generator[Operation, None, None]:
+    """Binomial-tree broadcast of ``nbytes`` from ``root``."""
+    _check(ctx, nbytes)
+    size = ctx.size
+    if size == 1:
+        return
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range for size {size}")
+    vrank = (ctx.rank - root) % size  # root becomes virtual rank 0
+
+    # Receive once from the parent (the rank that differs in our lowest
+    # set bit), then forward to children at successively smaller offsets.
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = vrank - mask
+            yield Recv(src=(parent + root) % size, tag=tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        child = vrank + mask
+        if child < size:
+            yield Send(dst=(child + root) % size, nbytes=nbytes, tag=tag)
+        mask >>= 1
+
+
+def reduce(
+    ctx: RankContext, nbytes: int, *, root: int = 0, tag: int = 1002
+) -> Generator[Operation, None, None]:
+    """Binomial-tree reduction of ``nbytes`` to ``root``."""
+    _check(ctx, nbytes)
+    size = ctx.size
+    if size == 1:
+        return
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range for size {size}")
+    vrank = (ctx.rank - root) % size
+
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            yield Send(dst=((vrank - mask) + root) % size, nbytes=nbytes, tag=tag)
+            return
+        partner = vrank + mask
+        if partner < size:
+            yield Recv(src=(partner + root) % size, tag=tag)
+        mask <<= 1
+
+
+def allreduce_recursive_doubling(
+    ctx: RankContext, nbytes: int, *, tag: int = 1003
+) -> Generator[Operation, None, None]:
+    """Recursive-doubling allreduce (hypercube exchange pattern).
+
+    Handles non-power-of-two sizes with the standard fold: the trailing
+    ``size - 2**k`` ranks hand their data to a partner, the leading
+    power-of-two core runs log2 exchange rounds, and the result is sent
+    back to the folded ranks.
+    """
+    _check(ctx, nbytes)
+    size = ctx.size
+    if size == 1:
+        return
+    pow2 = 1
+    while pow2 * 2 <= size:
+        pow2 *= 2
+    rem = size - pow2
+    rank = ctx.rank
+
+    # Fold: ranks pow2..size-1 ship data to rank - pow2 and idle.
+    if rank >= pow2:
+        yield Send(dst=rank - pow2, nbytes=nbytes, tag=tag)
+        yield Recv(src=rank - pow2, tag=tag + 1)
+        return
+    if rank < rem:
+        yield Recv(src=rank + pow2, tag=tag)
+
+    mask = 1
+    while mask < pow2:
+        partner = rank ^ mask
+        yield Send(dst=partner, nbytes=nbytes, tag=tag + 2)
+        yield Recv(src=partner, tag=tag + 2)
+        mask <<= 1
+
+    if rank < rem:
+        yield Send(dst=rank + pow2, nbytes=nbytes, tag=tag + 1)
+
+
+def allreduce_ring(
+    ctx: RankContext, nbytes: int, *, tag: int = 1004
+) -> Generator[Operation, None, None]:
+    """Ring allreduce: reduce-scatter then allgather, 2(P-1) chunk steps.
+
+    Each step moves ``ceil(nbytes / P)`` bytes to the next rank on the
+    ring — the bandwidth-optimal pattern data-parallel SGD trainers use.
+    """
+    _check(ctx, nbytes)
+    size = ctx.size
+    if size == 1:
+        return
+    chunk = max(1, (nbytes + size - 1) // size)
+    nxt = (ctx.rank + 1) % size
+    prv = (ctx.rank - 1) % size
+    for _ in range(2 * (size - 1)):
+        yield Send(dst=nxt, nbytes=chunk, tag=tag)
+        yield Recv(src=prv, tag=tag)
+
+
+def allgather_ring(
+    ctx: RankContext, nbytes: int, *, tag: int = 1005
+) -> Generator[Operation, None, None]:
+    """Ring allgather: P-1 steps, each forwarding an ``nbytes`` block."""
+    _check(ctx, nbytes)
+    size = ctx.size
+    if size == 1:
+        return
+    nxt = (ctx.rank + 1) % size
+    prv = (ctx.rank - 1) % size
+    for _ in range(size - 1):
+        yield Send(dst=nxt, nbytes=nbytes, tag=tag)
+        yield Recv(src=prv, tag=tag)
+
+
+def alltoall(
+    ctx: RankContext, nbytes_per_peer: int, *, tag: int = 1006
+) -> Generator[Operation, None, None]:
+    """Pairwise-exchange alltoall: step d swaps with rank +/- d on the ring."""
+    _check(ctx, nbytes_per_peer)
+    size = ctx.size
+    if size == 1:
+        return
+    for step in range(1, size):
+        send_to = (ctx.rank + step) % size
+        recv_from = (ctx.rank - step) % size
+        yield Send(dst=send_to, nbytes=nbytes_per_peer, tag=tag)
+        yield Recv(src=recv_from, tag=tag)
+
+
+def barrier_dissemination(
+    ctx: RankContext, *, tag: int = 1007
+) -> Generator[Operation, None, None]:
+    """Dissemination barrier: ceil(log2 P) rounds of tiny messages."""
+    size = ctx.size
+    if size == 1:
+        return
+    mask = 1
+    while mask < size:
+        send_to = (ctx.rank + mask) % size
+        recv_from = (ctx.rank - mask) % size
+        yield Send(dst=send_to, nbytes=_SYNC_BYTES, tag=tag)
+        yield Recv(src=recv_from, tag=tag)
+        mask <<= 1

@@ -1,0 +1,300 @@
+"""The discrete-event simulator driving simulated MPI programs.
+
+Each rank is a Python generator yielding :mod:`repro.simmpi.ops`
+operations.  The engine advances ranks until they block (on a receive or
+a barrier), matches messages FIFO per ``(src, dst, tag)`` channel, and
+executes matched transfers **in global ready-time order** through the
+network model, so link serialization reflects simulated time rather than
+scheduling order.  Makespan and communication statistics are reported at
+the end.
+
+Semantics (see :mod:`repro.simmpi.ops`): eager sends, blocking receives,
+ideal barriers.  Execution is fully deterministic for a fixed program —
+ranks are advanced in a fixed worklist order, channel queues are FIFO,
+and ties in the transfer heap break on a monotonically increasing
+sequence number — so simulated results are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Generator, Protocol
+
+import numpy as np
+
+from .ops import Barrier, Compute, Operation, Recv, Send
+
+__all__ = ["RankContext", "Simulator", "SimResult", "DeadlockError", "Program"]
+
+
+class DeadlockError(RuntimeError):
+    """No rank can make progress but the program has not finished."""
+
+
+@dataclass(frozen=True, slots=True)
+class RankContext:
+    """What a simulated program knows about its execution environment."""
+
+    rank: int
+    size: int
+
+
+Program = Callable[[RankContext], Generator[Operation, None, None]]
+
+
+class Tracer(Protocol):
+    """Message-stream observer (see :mod:`repro.simmpi.tracing`)."""
+
+    def record(self, src: int, dst: int, nbytes: int, tag: int) -> None: ...
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    makespan_s:
+        Maximum finish time over all ranks — the simulated execution time.
+    rank_times_s:
+        (N,) per-rank finish times.
+    total_messages / total_bytes:
+        Message-stream volume (every point-to-point message counted once).
+    comm_wait_s:
+        Sum over all receives of the time between posting the receive and
+        holding the data — a receiver-side congestion indicator.
+    barriers:
+        Number of ideal barriers executed.
+    """
+
+    makespan_s: float
+    rank_times_s: np.ndarray
+    total_messages: int
+    total_bytes: int
+    comm_wait_s: float
+    barriers: int
+
+
+class _RankState:
+    __slots__ = ("gen", "time", "finished", "waiting_channel", "in_barrier", "comm_wait")
+
+    def __init__(self, gen: Generator[Operation, None, None]) -> None:
+        self.gen = gen
+        self.time = 0.0
+        self.finished = False
+        self.waiting_channel: tuple[int, int, int] | None = None
+        self.in_barrier = False
+        self.comm_wait = 0.0
+
+
+class Simulator:
+    """Run a program on every rank against a network model.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of simulated processes.
+    program:
+        Factory invoked once per rank with its :class:`RankContext`.
+    network:
+        Object with ``transfer(src, dst, nbytes, ready) -> completion`` and
+        ``reset()`` (see :mod:`repro.simmpi.network`).  ``transfer`` is
+        called exactly once per message, in non-decreasing ready-time
+        order, which is what lets the network model maintain FIFO link
+        occupancy correctly.
+    compute_scale:
+        Multiplier applied to every :class:`Compute` duration.  ``1.0``
+        simulates the full application; ``0.0`` reproduces the paper's
+        communication-only simulations (Section 5.4).
+    tracer:
+        Optional message observer; receives every send exactly once.
+    max_ops:
+        Safety cap on total interpreted operations.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        program: Program,
+        network,
+        *,
+        compute_scale: float = 1.0,
+        tracer: Tracer | None = None,
+        max_ops: int = 50_000_000,
+    ) -> None:
+        if num_ranks <= 0:
+            raise ValueError(f"num_ranks must be positive, got {num_ranks}")
+        if compute_scale < 0:
+            raise ValueError(f"compute_scale must be >= 0, got {compute_scale}")
+        if max_ops <= 0:
+            raise ValueError(f"max_ops must be positive, got {max_ops}")
+        self.num_ranks = int(num_ranks)
+        self.program = program
+        self.network = network
+        self.compute_scale = float(compute_scale)
+        self.tracer = tracer
+        self.max_ops = int(max_ops)
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> SimResult:
+        """Execute the program to completion and return the statistics."""
+        n = self.num_ranks
+        self.network.reset()
+        states = [
+            _RankState(self.program(RankContext(rank=r, size=n))) for r in range(n)
+        ]
+        # FIFO message queues per channel (src, dst, tag): (post_time, nbytes).
+        channels: dict[tuple[int, int, int], deque[tuple[float, int]]] = {}
+        # Matched transfers awaiting execution, ordered by ready time:
+        # (ready, seq, src, dst, nbytes, recv_post_time).
+        transfers: list[tuple[float, int, int, int, int, float]] = []
+        seq = 0
+        barrier_waiting: list[int] = []
+        runnable: deque[int] = deque(range(n))
+
+        total_messages = 0
+        total_bytes = 0
+        barriers = 0
+        ops_budget = self.max_ops
+
+        def advance(rank: int) -> None:
+            """Run one rank until it blocks or finishes."""
+            nonlocal seq, total_messages, total_bytes, ops_budget
+            st = states[rank]
+            while True:
+                ops_budget -= 1
+                if ops_budget < 0:
+                    raise RuntimeError(
+                        f"operation budget ({self.max_ops}) exhausted; "
+                        "the simulated program is likely non-terminating"
+                    )
+                try:
+                    op = next(st.gen)
+                except StopIteration:
+                    st.finished = True
+                    return
+
+                if isinstance(op, Compute):
+                    st.time += op.seconds * self.compute_scale
+                    continue
+
+                if isinstance(op, Send):
+                    if op.dst == rank:
+                        raise ValueError(f"rank {rank} attempted to send to itself")
+                    if not 0 <= op.dst < n:
+                        raise ValueError(
+                            f"rank {rank} sends to invalid rank {op.dst} (size {n})"
+                        )
+                    if self.tracer is not None:
+                        self.tracer.record(rank, op.dst, op.nbytes, op.tag)
+                    total_messages += 1
+                    total_bytes += op.nbytes
+                    key = (rank, op.dst, op.tag)
+                    dst_state = states[op.dst]
+                    if dst_state.waiting_channel == key:
+                        # Receiver already blocked on this channel: match now.
+                        ready = max(st.time, dst_state.time)
+                        heapq.heappush(
+                            transfers,
+                            (ready, seq, rank, op.dst, op.nbytes, dst_state.time),
+                        )
+                        seq += 1
+                        dst_state.waiting_channel = None  # matched, still blocked
+                    else:
+                        channels.setdefault(key, deque()).append((st.time, op.nbytes))
+                    continue
+
+                if isinstance(op, Recv):
+                    if op.src == rank:
+                        raise ValueError(f"rank {rank} attempted to receive from itself")
+                    if not 0 <= op.src < n:
+                        raise ValueError(
+                            f"rank {rank} receives from invalid rank {op.src} (size {n})"
+                        )
+                    key = (op.src, rank, op.tag)
+                    queue = channels.get(key)
+                    if queue:
+                        post_time, nbytes = queue.popleft()
+                        if not queue:
+                            del channels[key]
+                        ready = max(post_time, st.time)
+                        heapq.heappush(
+                            transfers, (ready, seq, op.src, rank, nbytes, st.time)
+                        )
+                        seq += 1
+                        # Blocked until the transfer executes (no channel
+                        # marker: the transfer will wake us).
+                    else:
+                        st.waiting_channel = key
+                    return
+
+                if isinstance(op, Barrier):
+                    st.in_barrier = True
+                    barrier_waiting.append(rank)
+                    return
+
+                raise TypeError(
+                    f"rank {rank} yielded {op!r}, which is not a simulator operation"
+                )
+
+        while True:
+            # Phase 1: drain the worklist — advance every runnable rank.
+            while runnable:
+                rank = runnable.popleft()
+                if not states[rank].finished:
+                    advance(rank)
+
+            # Phase 2: a full barrier releases once every unfinished rank
+            # arrived and no transfer is in flight.
+            if (
+                barrier_waiting
+                and not transfers
+                and len(barrier_waiting) == sum(1 for s in states if not s.finished)
+            ):
+                sync_time = max(states[r].time for r in barrier_waiting)
+                for r in barrier_waiting:
+                    states[r].time = sync_time
+                    states[r].in_barrier = False
+                    runnable.append(r)
+                barrier_waiting.clear()
+                barriers += 1
+                continue
+
+            # Phase 3: execute the earliest-ready matched transfer.  New
+            # matches created by the woken receiver always have ready >=
+            # this completion, so link occupancy is claimed in
+            # non-decreasing time order.
+            if transfers:
+                ready, _, src, dst, nbytes, recv_post = heapq.heappop(transfers)
+                completion = self.network.transfer(src, dst, nbytes, ready)
+                st = states[dst]
+                st.comm_wait += completion - recv_post
+                st.time = completion
+                runnable.append(dst)
+                continue
+
+            break  # nothing runnable, no barrier release, no transfers
+
+        unfinished = [r for r, s in enumerate(states) if not s.finished]
+        if unfinished:
+            blocked = {
+                r: ("barrier" if states[r].in_barrier else states[r].waiting_channel)
+                for r in unfinished
+            }
+            raise DeadlockError(
+                f"{len(unfinished)} ranks cannot progress; blocked on: "
+                f"{dict(list(blocked.items())[:8])}"
+            )
+
+        rank_times = np.array([s.time for s in states])
+        return SimResult(
+            makespan_s=float(rank_times.max()),
+            rank_times_s=rank_times,
+            total_messages=total_messages,
+            total_bytes=total_bytes,
+            comm_wait_s=float(sum(s.comm_wait for s in states)),
+            barriers=barriers,
+        )

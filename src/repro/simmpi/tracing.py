@@ -1,0 +1,96 @@
+"""Application profiling: recording message streams into CG/AG.
+
+This is the reproduction's stand-in for CYPRESS [Zhai et al., SC'14]: the
+application runs once on a uniform profiling network, every message is
+recorded, and the communication pattern matrix ``CG`` (bytes) and count
+matrix ``AG`` (messages) fall out.  Per-rank event streams are optionally
+kept so :mod:`repro.simmpi.compression` can demonstrate CYPRESS-style
+loop-folding trace compression on the same data.
+
+Matrices are returned dense for small N and as CSR for large N, because
+the structured applications (NPB, ring allreduce) have O(N) nonzeros and
+the mapping algorithms handle sparse input natively.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_positive_int
+
+__all__ = ["TraceRecorder", "DENSE_LIMIT"]
+
+#: Below this many ranks, communication matrices are returned dense.
+DENSE_LIMIT = 256
+
+
+class TraceRecorder:
+    """Accumulates the message stream of one simulated run.
+
+    Parameters
+    ----------
+    num_ranks:
+        N, fixed up front so matrix shapes are unambiguous.
+    keep_events:
+        When True, every send is also appended to the per-source event
+        stream (tuples ``(dst, nbytes, tag)``), enabling trace
+        compression; off by default because large runs emit millions of
+        messages.
+    """
+
+    def __init__(self, num_ranks: int, *, keep_events: bool = False) -> None:
+        self.num_ranks = check_positive_int(num_ranks, "num_ranks")
+        self.keep_events = bool(keep_events)
+        self._volume: dict[tuple[int, int], float] = defaultdict(float)
+        self._count: dict[tuple[int, int], int] = defaultdict(int)
+        self.events: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(num_ranks)
+        ]
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    def record(self, src: int, dst: int, nbytes: int, tag: int) -> None:
+        """Observe one message (called by the simulator per send)."""
+        key = (src, dst)
+        self._volume[key] += nbytes
+        self._count[key] += 1
+        self.total_messages += 1
+        self.total_bytes += nbytes
+        if self.keep_events:
+            self.events[src].append((dst, nbytes, tag))
+
+    # ------------------------------------------------------------- matrices
+
+    def communication_matrices(
+        self, *, dense_limit: int = DENSE_LIMIT
+    ) -> tuple["np.ndarray | sp.csr_matrix", "np.ndarray | sp.csr_matrix"]:
+        """(CG, AG) built from everything recorded so far.
+
+        Dense below ``dense_limit`` ranks, CSR at or above it.
+        """
+        n = self.num_ranks
+        if not self._count:
+            if n < dense_limit:
+                return np.zeros((n, n)), np.zeros((n, n))
+            empty = sp.csr_matrix((n, n))
+            return empty, empty.copy()
+        keys = np.array(list(self._count.keys()), dtype=np.int64)
+        rows, cols = keys[:, 0], keys[:, 1]
+        vols = np.array([self._volume[tuple(k)] for k in keys])
+        cnts = np.array([self._count[tuple(k)] for k in keys], dtype=np.float64)
+        if n < dense_limit:
+            cg = np.zeros((n, n))
+            ag = np.zeros((n, n))
+            cg[rows, cols] = vols
+            ag[rows, cols] = cnts
+            return cg, ag
+        cg = sp.csr_matrix((vols, (rows, cols)), shape=(n, n))
+        ag = sp.csr_matrix((cnts, (rows, cols)), shape=(n, n))
+        return cg, ag
+
+    def nonzero_pairs(self) -> int:
+        """Number of distinct communicating (src, dst) pairs."""
+        return len(self._count)

@@ -1,0 +1,52 @@
+"""Unit tests for the Application base plumbing."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps import RingApp, grid_shape, make_paper_app, PAPER_APPS
+
+
+def test_grid_shape_square_and_rectangular():
+    assert grid_shape(64) == (8, 8)
+    assert grid_shape(32) == (4, 8)
+    assert grid_shape(12) == (3, 4)
+    assert grid_shape(13) == (1, 13)
+    assert grid_shape(1) == (1, 1)
+    with pytest.raises(ValueError):
+        grid_shape(0)
+
+
+def test_profile_cache_is_reused():
+    app = RingApp(8, iterations=2)
+    a = app.communication_matrices()
+    b = app.communication_matrices()
+    assert a[0] is b[0]  # cached object identity
+
+
+def test_profile_dense_limit_override():
+    app = RingApp(8, iterations=1)
+    cg, ag, _ = app.profile(dense_limit=2)
+    assert sp.issparse(cg)
+
+
+def test_profile_keep_events():
+    app = RingApp(4, iterations=2)
+    _, _, rec = app.profile(keep_events=True)
+    assert len(rec.events[0]) == 4  # 2 sends x 2 iterations
+
+
+def test_make_paper_app_factory():
+    for name in PAPER_APPS:
+        app = make_paper_app(name, 16)
+        assert app.num_ranks == 16
+        assert app.name == name
+    with pytest.raises(KeyError, match="unknown paper app"):
+        make_paper_app("CG")
+
+
+def test_large_rank_profile_is_sparse():
+    app = RingApp(300, iterations=1)
+    cg, ag = app.communication_matrices()
+    assert sp.issparse(cg) and sp.issparse(ag)
+    assert cg.nnz == 600

@@ -1,0 +1,61 @@
+"""Unit tests for the DNN (parallel SGD) workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps import DNNApp, LUApp
+
+
+def test_dnn_traffic_small_relative_to_npb():
+    """Paper Fig. 3: 'for DNN, the total amount of message passing is
+    small' — compare per-iteration volume against LU."""
+    dnn = DNNApp(16, rounds=10, param_bytes=64 * 1024)
+    lu = LUApp(16, iterations=10)
+    cg_dnn, _, _ = dnn.profile()
+    cg_lu, _, _ = lu.profile()
+    assert cg_dnn.sum() < cg_lu.sum()
+
+
+def test_dnn_is_computation_intensive():
+    app = DNNApp(8, rounds=5, compute_per_round=10.0)
+    from repro.simmpi import Simulator, UniformNetwork
+
+    full = Simulator(8, app.program, UniformNetwork()).run()
+    comm = Simulator(8, app.program, UniformNetwork(), compute_scale=0.0).run()
+    assert full.makespan_s > 10 * comm.makespan_s
+
+
+def test_tree_pattern_is_root_centric():
+    app = DNNApp(16, rounds=2)
+    cg, _, _ = app.profile()
+    # Rank 0 (the coordinator) touches its binomial-tree children 8, 4,
+    # 2, 1 in both directions.
+    partners = set(np.flatnonzero(cg[0] + cg[:, 0]))
+    assert {1, 2, 4, 8}.issubset(partners)
+    # A leaf only talks to its parent: rank 5's parent is 4.
+    leaf_partners = set(np.flatnonzero(cg[5] + cg[:, 5]))
+    assert leaf_partners == {4}
+
+
+def test_round_count_scales_messages():
+    a = DNNApp(8, rounds=2)
+    b = DNNApp(8, rounds=4)
+    _, ag_a, _ = a.profile()
+    _, ag_b, _ = b.profile()
+    # Minus the one-off bcast (7 messages on 8 ranks).
+    assert ag_b.sum() - 7 == pytest.approx(2 * (ag_a.sum() - 7))
+
+
+def test_single_rank():
+    app = DNNApp(1, rounds=2)
+    cg, _, _ = app.profile()
+    assert cg.sum() == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DNNApp(8, param_bytes=0)
+    with pytest.raises(ValueError):
+        DNNApp(8, rounds=0)
+    with pytest.raises(ValueError):
+        DNNApp(8, compute_per_round=-5.0)

@@ -1,0 +1,62 @@
+"""Unit tests for the synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.apps import RandomSparseApp, RingApp, StencilApp, UniformApp
+
+
+def test_ring_pattern():
+    app = RingApp(8, iterations=3, nbytes=1000)
+    cg, ag, _ = app.profile()
+    for r in range(8):
+        partners = set(np.flatnonzero(cg[r]))
+        assert partners == {(r + 1) % 8, (r - 1) % 8}
+    assert cg[0, 1] == 3 * 1000
+
+
+def test_ring_single_rank():
+    cg, _, _ = RingApp(1, iterations=2).profile()
+    assert cg.sum() == 0
+
+
+def test_stencil_pattern():
+    app = StencilApp(16, iterations=2)
+    cg, _, _ = app.profile()
+    # rank 5 at (1,1) on the 4x4 grid: neighbors 1, 9, 4, 6.
+    assert set(np.flatnonzero(cg[5])) == {1, 9, 4, 6}
+    # corner rank 0 has 2 neighbors.
+    assert set(np.flatnonzero(cg[0])) == {1, 4}
+
+
+def test_random_sparse_degree_and_determinism():
+    a = RandomSparseApp(20, degree=3, seed=5)
+    b = RandomSparseApp(20, degree=3, seed=5)
+    assert a.offsets == b.offsets and a.sizes == b.sizes
+    cg, _, _ = a.profile()
+    assert np.all((cg > 0).sum(axis=1) == 3)
+
+
+def test_random_sparse_runs_to_completion():
+    app = RandomSparseApp(10, iterations=4, degree=5, seed=1)
+    _, _, rec = app.profile()
+    assert rec.total_messages == 10 * 5 * 4
+
+
+def test_uniform_all_pairs():
+    app = UniformApp(6, iterations=1, nbytes=10)
+    cg, _, _ = app.profile()
+    off = ~np.eye(6, dtype=bool)
+    assert np.all(cg[off] == 10)
+    assert np.all(np.diagonal(cg) == 0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RingApp(4, iterations=0)
+    with pytest.raises(ValueError):
+        StencilApp(4, nbytes=0)
+    with pytest.raises(ValueError):
+        RandomSparseApp(4, degree=0)
+    with pytest.raises(ValueError):
+        RingApp(4, compute=-1.0)

@@ -1,0 +1,61 @@
+"""Unit tests for the simulated-annealing mapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomMapper, SimulatedAnnealingMapper
+from repro.core import validate_assignment
+from tests.conftest import make_problem
+
+
+def test_feasible_and_respects_constraints(problem64):
+    m = SimulatedAnnealingMapper(steps=2000).map(problem64, seed=0)
+    validate_assignment(problem64, m.assignment)
+    pinned = problem64.constraints >= 0
+    np.testing.assert_array_equal(m.assignment[pinned], problem64.constraints[pinned])
+
+
+def test_beats_random_clearly(topo4):
+    p = make_problem(48, topo4, seed=50, locality=0.8)
+    sa = SimulatedAnnealingMapper(steps=5000).map(p, seed=0)
+    rnd = [RandomMapper().map(p, seed=s).cost for s in range(10)]
+    assert sa.cost < min(rnd)
+
+
+def test_more_steps_never_hurt_much(topo4):
+    p = make_problem(32, topo4, seed=51, locality=0.6)
+    short = SimulatedAnnealingMapper(steps=200).map(p, seed=0)
+    long = SimulatedAnnealingMapper(steps=8000).map(p, seed=0)
+    assert long.cost <= short.cost * 1.05
+
+
+def test_deterministic_under_seed(problem64):
+    a = SimulatedAnnealingMapper(steps=1000).map(problem64, seed=9)
+    b = SimulatedAnnealingMapper(steps=1000).map(problem64, seed=9)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+def test_slack_capacity_moves_used(topo4):
+    """With fewer processes than nodes, the move proposal is exercised
+    and the result stays capacity-feasible."""
+    p = make_problem(40, topo4, seed=52, locality=0.6)
+    m = SimulatedAnnealingMapper(steps=3000).map(p, seed=1)
+    validate_assignment(p, m.assignment)
+
+
+def test_registered():
+    from repro.core import get_mapper
+
+    mapper = get_mapper("simulated-annealing", steps=100)
+    assert mapper.steps == 100
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SimulatedAnnealingMapper(steps=0)
+    with pytest.raises(ValueError):
+        SimulatedAnnealingMapper(initial_acceptance=1.5)
+    with pytest.raises(ValueError):
+        SimulatedAnnealingMapper(final_temperature_ratio=2.0)
+    with pytest.raises(ValueError):
+        SimulatedAnnealingMapper(restarts=0)

@@ -1,0 +1,73 @@
+"""Unit tests for the Greedy (Hoefler-Snir) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedyMapper, RandomMapper, site_total_bandwidth
+from repro.core import MappingProblem, validate_assignment
+from tests.conftest import make_problem
+
+
+def test_feasible_and_deterministic(problem64):
+    a = GreedyMapper().map(problem64, seed=0)
+    b = GreedyMapper().map(problem64, seed=1)  # no RNG dependence
+    validate_assignment(problem64, a.assignment)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+def test_site_total_bandwidth_definition(problem16):
+    score = site_total_bandwidth(problem16)
+    expected = problem16.BT.sum(axis=1) + problem16.BT.sum(axis=0)
+    np.testing.assert_allclose(score, expected)
+
+
+def test_heaviest_pair_lands_on_best_site(topo4):
+    """Two processes dominating the traffic should be co-located on the
+    highest-total-bandwidth site."""
+    n = 8
+    cg = np.ones((n, n)) * 1.0
+    cg[0, 1] = cg[1, 0] = 1e9
+    np.fill_diagonal(cg, 0.0)
+    ag = (cg > 0).astype(float)
+    p = MappingProblem.from_topology(cg, ag, topo4)
+    m = GreedyMapper().map(p, seed=0)
+    best_site = int(np.argmax(site_total_bandwidth(p)))
+    assert m.assignment[0] == best_site
+    assert m.assignment[1] == best_site
+
+
+def test_affinity_variant_beats_static_on_local_pattern(topo4):
+    p = make_problem(64, topo4, seed=9, locality=0.9)
+    aff = GreedyMapper(affinity_growth=True).map(p, seed=0)
+    static = GreedyMapper(affinity_growth=False).map(p, seed=0)
+    assert aff.cost <= static.cost * 1.05  # affinity is at least on par
+
+
+def test_static_variant_orders_by_volume(topo4):
+    """In static mode the single heaviest process must go to the
+    top-ranked site even when its partners sit elsewhere."""
+    n = 8
+    cg = np.zeros((n, n))
+    cg[5, :] = 1e6  # process 5 is by far the heaviest
+    np.fill_diagonal(cg, 0.0)
+    ag = (cg > 0).astype(float)
+    p = MappingProblem.from_topology(cg, ag, topo4)
+    m = GreedyMapper(affinity_growth=False).map(p, seed=0)
+    best_site = int(np.argmax(site_total_bandwidth(p)))
+    assert m.assignment[5] == best_site
+
+
+def test_respects_constraints(problem64):
+    for variant in (True, False):
+        m = GreedyMapper(affinity_growth=variant).map(problem64, seed=0)
+        pinned = problem64.constraints >= 0
+        np.testing.assert_array_equal(
+            m.assignment[pinned], problem64.constraints[pinned]
+        )
+
+
+def test_beats_random_on_structured_problem(topo4):
+    p = make_problem(64, topo4, seed=11, locality=0.8)
+    greedy = GreedyMapper().map(p, seed=0)
+    rnd = [RandomMapper().map(p, seed=s).cost for s in range(10)]
+    assert greedy.cost < np.mean(rnd)

@@ -1,0 +1,91 @@
+"""Unit tests for the heuristic k-way graph partitioner."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines import kway_partition, weighted_cut
+
+
+def block_graph(k=3, per=6, intra=100.0, inter=1.0, seed=0):
+    """k dense blocks with weak inter-block edges — a known-good partition."""
+    n = k * per
+    rng = np.random.default_rng(seed)
+    w = rng.random((n, n)) * inter
+    for b in range(k):
+        sl = slice(b * per, (b + 1) * per)
+        w[sl, sl] = intra
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+def test_sizes_exactly_respected():
+    w = block_graph()
+    labels = kway_partition(w, np.array([6, 6, 6]), seed=0)
+    counts = np.bincount(labels, minlength=3)
+    np.testing.assert_array_equal(counts, [6, 6, 6])
+
+
+def test_uneven_sizes_respected():
+    w = block_graph(k=2, per=5)
+    labels = kway_partition(w, np.array([3, 7]), seed=0)
+    np.testing.assert_array_equal(np.bincount(labels, minlength=2), [3, 7])
+
+
+def test_recovers_block_structure():
+    w = block_graph(k=3, per=6)
+    labels = kway_partition(w, np.array([6, 6, 6]), seed=0)
+    # Every block should be wholly inside one part.
+    for b in range(3):
+        assert np.unique(labels[b * 6 : (b + 1) * 6]).size == 1
+
+
+def test_cut_beats_random_partition():
+    w = block_graph(k=4, per=8, seed=1)
+    labels = kway_partition(w, np.full(4, 8), seed=0)
+    rng = np.random.default_rng(0)
+    rand_cuts = []
+    for _ in range(10):
+        perm = rng.permutation(32)
+        rand = np.repeat(np.arange(4), 8)[np.argsort(perm)]
+        rand_cuts.append(weighted_cut(w, rand))
+    assert weighted_cut(w, labels) < min(rand_cuts)
+
+
+def test_fixed_vertices_stay_put():
+    w = block_graph(k=2, per=4)
+    fixed = np.full(8, -1, dtype=np.int64)
+    fixed[0] = 1  # force vertex 0 (block 0) into part 1
+    labels = kway_partition(w, np.array([4, 4]), fixed=fixed, seed=0)
+    assert labels[0] == 1
+    np.testing.assert_array_equal(np.bincount(labels, minlength=2), [4, 4])
+
+
+def test_sparse_input_matches_dense():
+    w = block_graph(k=2, per=5, seed=2)
+    a = kway_partition(w, np.array([5, 5]), seed=0)
+    b = kway_partition(sp.csr_matrix(w), np.array([5, 5]), seed=0)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_weighted_cut_definition():
+    w = np.array([[0.0, 3.0], [1.0, 0.0]])
+    # The undirected weight on the single cross edge is 3+1=4; the cut
+    # counts each undirected edge once.
+    assert weighted_cut(w, np.array([0, 1])) == pytest.approx(4.0)
+    assert weighted_cut(w, np.array([0, 0])) == 0.0
+
+
+def test_validation_errors():
+    w = block_graph(k=2, per=3)
+    with pytest.raises(ValueError, match="sum"):
+        kway_partition(w, np.array([2, 2]))
+    with pytest.raises(ValueError, match="negative"):
+        kway_partition(-w, np.array([3, 3]))
+    bad_fixed = np.full(6, -1)
+    bad_fixed[0] = 5
+    with pytest.raises(ValueError, match="parts outside"):
+        kway_partition(w, np.array([3, 3]), fixed=bad_fixed)
+    over_fixed = np.zeros(6, dtype=np.int64)  # all six pinned to part 0 of size 3
+    with pytest.raises(ValueError, match="exceed"):
+        kway_partition(w, np.array([3, 3]), fixed=over_fixed)

@@ -1,0 +1,87 @@
+"""Unit tests for the Monte Carlo engine (Figs. 9-10 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MonteCarloMapper,
+    best_of_k_curve,
+    empirical_cdf,
+    monte_carlo_costs,
+    quantile_of_cost,
+    sample_assignments,
+)
+from repro.core import validate_assignment
+from tests.conftest import make_problem
+
+
+def test_sample_assignments_all_feasible(problem64):
+    Ps = sample_assignments(problem64, 32, seed=0)
+    assert Ps.shape == (32, 64)
+    for P in Ps:
+        validate_assignment(problem64, P)
+
+
+def test_monte_carlo_costs_shape_and_positivity(problem64):
+    res = monte_carlo_costs(problem64, 128, seed=0, batch_size=50)
+    assert res.samples == 128
+    assert np.all(res.costs > 0)
+    assert res.best <= res.worst
+
+
+def test_normalized_in_unit_interval(problem64):
+    res = monte_carlo_costs(problem64, 64, seed=1)
+    norm = res.normalized()
+    assert norm.max() == pytest.approx(1.0)
+    assert np.all(norm > 0)
+
+
+def test_cdf_monotone(problem64):
+    res = monte_carlo_costs(problem64, 64, seed=2)
+    xs, ps = res.cdf()
+    assert np.all(np.diff(xs) >= 0)
+    assert np.all(np.diff(ps) > 0)
+    assert ps[-1] == pytest.approx(1.0)
+
+
+def test_quantile_of_cost_bounds():
+    costs = np.array([1.0, 2.0, 3.0, 4.0])
+    assert quantile_of_cost(costs, 0.5) == 0.0
+    assert quantile_of_cost(costs, 2.5) == 0.5
+    assert quantile_of_cost(costs, 10.0) == 1.0
+
+
+def test_best_of_k_curve_decreasing(problem64):
+    res = monte_carlo_costs(problem64, 256, seed=3)
+    ks = np.array([1, 4, 16, 64, 256])
+    curve = best_of_k_curve(res.costs, ks, seed=0, repeats=16)
+    # Expected minimum is non-increasing in K (allow small sampling noise).
+    assert np.all(np.diff(curve) <= curve[:-1] * 0.02)
+    assert curve[-1] <= curve[0]
+
+
+def test_best_of_k_validation(problem64):
+    res = monte_carlo_costs(problem64, 16, seed=4)
+    with pytest.raises(ValueError):
+        best_of_k_curve(res.costs, np.array([0, 2]))
+    with pytest.raises(ValueError):
+        best_of_k_curve(np.array([]), np.array([1]))
+
+
+def test_mapper_returns_best_of_k(problem64):
+    m = MonteCarloMapper(samples=64).map(problem64, seed=0)
+    validate_assignment(problem64, m.assignment)
+    # Best-of-64 should beat the typical single random draw.
+    res = monte_carlo_costs(problem64, 64, seed=99)
+    assert m.cost <= np.median(res.costs)
+
+
+def test_mapper_more_samples_no_worse(problem64):
+    few = MonteCarloMapper(samples=8).map(problem64, seed=7)
+    many = MonteCarloMapper(samples=512).map(problem64, seed=7)
+    assert many.cost <= few.cost
+
+
+def test_empirical_cdf_rejects_empty():
+    with pytest.raises(ValueError):
+        empirical_cdf(np.array([]))

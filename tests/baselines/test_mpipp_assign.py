@@ -1,0 +1,88 @@
+"""Targeted tests for MPIPP's part->site assignment search (geo-aware)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mpipp import MPIPPMapper, _part_sizes
+from repro.core import MappingProblem, UNCONSTRAINED
+
+
+def asym_problem(m=3, per=2, seed=0):
+    """M sites with very different inter-site links; block traffic."""
+    rng = np.random.default_rng(seed)
+    n = m * per
+    cg = np.zeros((n, n))
+    # Heavy traffic between block 0 and block 1 only.
+    cg[0:per, per : 2 * per] = 1e6
+    cg += rng.random((n, n))
+    np.fill_diagonal(cg, 0)
+    ag = np.ones((n, n))
+    np.fill_diagonal(ag, 0)
+    lt = np.full((m, m), 1e-4)
+    bt = np.full((m, m), 1e6)
+    # Sites 0 and 1 share a fat link; everything touching site 2 is slow.
+    bt[0, 1] = bt[1, 0] = 5e7
+    bt[0, 2] = bt[2, 0] = 1e5
+    bt[1, 2] = bt[2, 1] = 1e5
+    np.fill_diagonal(bt, 1e9)
+    return MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=[per] * m)
+
+
+def test_geo_aware_assignment_keeps_heavy_traffic_off_slow_links():
+    p = asym_problem()
+    m = MPIPPMapper(geo_aware=True, restarts=1).map(p, seed=0)
+    # Every heavy pair (block 0 <-> block 1) must be intra-site or ride
+    # the fat 0<->1 link; none may touch the slow site 2.
+    heavy_procs = range(4)
+    assert all(m.assignment[i] in (0, 1) for i in heavy_procs)
+
+
+def test_exhaustive_assignment_respects_pins():
+    p = asym_problem()
+    cons = np.full(6, UNCONSTRAINED)
+    cons[4] = 2  # a block-2 process pinned to site 2
+    p = p.with_constraints(cons)
+    m = MPIPPMapper(geo_aware=True, restarts=1).map(p, seed=0)
+    assert m.assignment[4] == 2
+
+
+def test_greedy_part_exchange_path_many_sites():
+    """With M > 6 the exhaustive permutation search is skipped for the
+    greedy pairwise part-exchange; the result must still be feasible."""
+    m_sites = 7
+    per = 2
+    n = m_sites * per
+    rng = np.random.default_rng(1)
+    cg = rng.random((n, n))
+    np.fill_diagonal(cg, 0)
+    ag = np.ones((n, n))
+    np.fill_diagonal(ag, 0)
+    lt = rng.uniform(1e-4, 1e-2, (m_sites, m_sites))
+    bt = rng.uniform(1e5, 1e8, (m_sites, m_sites))
+    p = MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=[per] * m_sites)
+    m = MPIPPMapper(geo_aware=True, restarts=1, max_passes=3).map(p, seed=0)
+    from repro.core import validate_assignment
+
+    validate_assignment(p, m.assignment)
+
+
+def test_part_sizes_exact_fill(topo4):
+    from tests.conftest import make_problem
+
+    p = make_problem(64, topo4, seed=40)
+    sizes = _part_sizes(p)
+    np.testing.assert_array_equal(sizes, p.capacities)
+
+
+def test_part_sizes_respects_pinned_floor(topo4):
+    from tests.conftest import make_problem
+
+    # 32 processes on 64 slots with many pins on one site.
+    p = make_problem(32, topo4, seed=41)
+    cons = np.full(32, UNCONSTRAINED)
+    cons[:14] = 2  # 14 pins on site 2 (capacity 16)
+    p = p.with_constraints(cons)
+    sizes = _part_sizes(p)
+    assert sizes.sum() == 32
+    assert sizes[2] >= 14
+    assert np.all(sizes <= p.capacities)

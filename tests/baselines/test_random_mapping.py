@@ -1,0 +1,55 @@
+"""Unit tests for the Baseline (random) mapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomMapper, random_assignment
+from repro.core import validate_assignment
+from repro._validation import as_rng
+from tests.conftest import make_problem
+
+
+def test_feasible_with_constraints(problem64):
+    for seed in range(10):
+        m = RandomMapper().map(problem64, seed=seed)
+        validate_assignment(problem64, m.assignment)
+
+
+def test_respects_pins(problem64):
+    m = RandomMapper().map(problem64, seed=0)
+    pinned = problem64.constraints >= 0
+    np.testing.assert_array_equal(m.assignment[pinned], problem64.constraints[pinned])
+
+
+def test_deterministic_under_seed(problem64):
+    a = RandomMapper().map(problem64, seed=5).assignment
+    b = RandomMapper().map(problem64, seed=5).assignment
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seeds_differ(problem64):
+    a = RandomMapper().map(problem64, seed=1).assignment
+    b = RandomMapper().map(problem64, seed=2).assignment
+    assert np.any(a != b)
+
+
+def test_uniformity_over_sites(topo4):
+    """Each free process should land on each site ~N_site/N of the time."""
+    p = make_problem(8, topo4, seed=0)
+    counts = np.zeros(4)
+    trials = 400
+    rng = as_rng(0)
+    for _ in range(trials):
+        P = random_assignment(p, rng)
+        counts[P[0]] += 1
+    # All sites have equal capacity, so expect ~uniform: chi-square-ish
+    # sanity bound (each should be within a generous window).
+    expected = trials / 4
+    assert np.all(counts > expected * 0.5)
+    assert np.all(counts < expected * 1.6)
+
+
+def test_full_pinning_leaves_no_freedom(topo4):
+    p = make_problem(16, topo4, seed=0, constraint_ratio=1.0)
+    a = random_assignment(p, as_rng(0))
+    np.testing.assert_array_equal(a, p.constraints)

@@ -1,0 +1,78 @@
+"""Unit tests for the simulated SKaMPI calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    BANDWIDTH_PROBE_BYTES,
+    PingpongCalibrator,
+    calibration_overhead_minutes,
+    paper_topology,
+)
+
+
+def test_noise_free_calibration_recovers_truth(topo4):
+    cal = PingpongCalibrator(topo4, noise=0.0).calibrate(days=1, samples_per_day=1)
+    # The paper's latency *is* the one-byte elapsed time, which includes a
+    # 1/BT transfer term — tiny but nonzero, hence the loose tolerance.
+    np.testing.assert_allclose(cal.latency_s, topo4.latency_s, rtol=1e-2)
+    # Bandwidth recovery subtracts the measured latency, so it is exact up
+    # to the one-byte correction.
+    np.testing.assert_allclose(cal.bandwidth_Bps, topo4.bandwidth_Bps, rtol=1e-6)
+
+
+def test_noisy_calibration_close_and_stable(topo4):
+    cal = PingpongCalibrator(topo4, noise=0.03, seed=0).calibrate(
+        days=3, samples_per_day=10
+    )
+    np.testing.assert_allclose(cal.latency_s, topo4.latency_s, rtol=0.1)
+    np.testing.assert_allclose(cal.bandwidth_Bps, topo4.bandwidth_Bps, rtol=0.15)
+    # The paper reports <5% variation for inter-site links; with 3%
+    # multiplicative noise the relative std must sit near that.
+    off = ~np.eye(4, dtype=bool)
+    assert cal.latency_rel_std[off].max() < 0.06
+    assert cal.samples == 30
+
+
+def test_intra_site_variation_larger(topo4):
+    cal = PingpongCalibrator(
+        topo4, noise=0.03, intra_noise_factor=3.0, seed=1
+    ).calibrate(days=2, samples_per_day=10)
+    intra = np.diagonal(cal.latency_rel_std).mean()
+    off = cal.latency_rel_std[~np.eye(4, dtype=bool)].mean()
+    assert intra > off
+
+
+def test_measure_elapsed_is_alpha_beta(topo4):
+    cal = PingpongCalibrator(topo4, noise=0.0)
+    t = cal.measure_elapsed_s(0, 1, BANDWIDTH_PROBE_BYTES)
+    expected = (
+        topo4.latency_s[0, 1] + BANDWIDTH_PROBE_BYTES / topo4.bandwidth_Bps[0, 1]
+    )
+    assert t == pytest.approx(expected)
+
+
+def test_measurement_determinism(topo4):
+    a = PingpongCalibrator(topo4, seed=3).calibrate(days=1, samples_per_day=2)
+    b = PingpongCalibrator(topo4, seed=3).calibrate(days=1, samples_per_day=2)
+    np.testing.assert_allclose(a.latency_s, b.latency_s)
+
+
+def test_paper_overhead_example():
+    """Section 4.2: 4 sites x 128 nodes at 1 min/pair: >180 days vs 12 min."""
+    traditional, ours = calibration_overhead_minutes(4, 128)
+    assert ours == 12.0
+    assert traditional / (60 * 24) > 180  # more than 180 days
+    assert traditional == 512 * 511
+
+
+def test_validation(topo4):
+    with pytest.raises(ValueError):
+        PingpongCalibrator(topo4, noise=0.9)
+    with pytest.raises(ValueError):
+        PingpongCalibrator(topo4, intra_noise_factor=0.5)
+    cal = PingpongCalibrator(topo4)
+    with pytest.raises(IndexError):
+        cal.measure_elapsed_s(0, 99, 100)
+    with pytest.raises(ValueError):
+        calibration_overhead_minutes(4, 128, per_pair_minutes=0.0)

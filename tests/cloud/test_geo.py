@@ -1,0 +1,66 @@
+"""Unit tests for geographic primitives."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import GeoCoordinate, haversine_km, pairwise_distances_km
+
+
+def test_haversine_known_distance():
+    # New York <-> London is ~5570 km.
+    d = haversine_km(40.71, -74.01, 51.51, -0.13)
+    assert 5500 < d < 5650
+
+
+def test_haversine_zero_for_identical_points():
+    assert haversine_km(10.0, 20.0, 10.0, 20.0) == pytest.approx(0.0)
+
+
+def test_haversine_antipodal():
+    # Antipodal points are half the circumference apart (~20015 km).
+    d = haversine_km(0.0, 0.0, 0.0, 180.0)
+    assert d == pytest.approx(20015, rel=0.01)
+
+
+def test_haversine_symmetric():
+    a = haversine_km(1.0, 2.0, 50.0, 100.0)
+    b = haversine_km(50.0, 100.0, 1.0, 2.0)
+    assert a == pytest.approx(b)
+
+
+def test_coordinate_validation():
+    with pytest.raises(ValueError, match="latitude"):
+        GeoCoordinate(91.0, 0.0)
+    with pytest.raises(ValueError, match="longitude"):
+        GeoCoordinate(0.0, 200.0)
+
+
+def test_coordinate_distance_and_array():
+    a = GeoCoordinate(0.0, 0.0)
+    b = GeoCoordinate(0.0, 1.0)
+    # One degree of longitude at the equator is ~111.2 km.
+    assert a.distance_km(b) == pytest.approx(111.2, rel=0.01)
+    np.testing.assert_array_equal(a.as_array(), [0.0, 0.0])
+
+
+def test_pairwise_matches_scalar():
+    pts = np.array([[40.71, -74.01], [51.51, -0.13], [1.35, 103.82]])
+    mat = pairwise_distances_km(pts)
+    assert mat.shape == (3, 3)
+    np.testing.assert_allclose(np.diagonal(mat), 0.0, atol=1e-9)
+    for i in range(3):
+        for j in range(3):
+            assert mat[i, j] == pytest.approx(
+                haversine_km(*pts[i], *pts[j]), rel=1e-9
+            )
+
+
+def test_pairwise_accepts_coordinate_objects():
+    coords = [GeoCoordinate(0.0, 0.0), GeoCoordinate(0.0, 90.0)]
+    mat = pairwise_distances_km(coords)
+    assert mat[0, 1] == pytest.approx(haversine_km(0, 0, 0, 90))
+
+
+def test_pairwise_shape_validation():
+    with pytest.raises(ValueError):
+        pairwise_distances_km(np.zeros((3, 3)))

@@ -1,0 +1,111 @@
+"""Unit tests for the distance-calibrated network model (Tables 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import NetworkModel, NetAnchor, azure_anchors, ec2_anchors, get_region
+
+
+@pytest.fixture(scope="module")
+def ec2_model():
+    return NetworkModel(provider="ec2", instance_type="c3.8xlarge")
+
+
+def test_table2_anchors_reproduced_exactly(ec2_model):
+    """At the anchor distances the model returns the measured values."""
+    use = get_region("us-east-1")
+    cases = {
+        "us-west-1": (21.0, 0.16e-3),
+        "eu-west-1": (19.0, 0.17e-3),
+        "ap-southeast-1": (6.6, 0.35e-3),
+    }
+    for key, (bw, lat) in cases.items():
+        d = use.distance_km(get_region(key))
+        assert ec2_model.cross_bandwidth_mbs(d) == pytest.approx(bw, rel=1e-6)
+        assert ec2_model.cross_latency_s(d) == pytest.approx(lat, rel=1e-6)
+
+
+def test_observation2_bandwidth_decreases_with_distance(ec2_model):
+    ds = np.linspace(800, 16000, 40)
+    bws = ec2_model.cross_bandwidth_mbs(ds)
+    assert np.all(np.diff(bws) <= 1e-12)
+
+
+def test_observation2_latency_increases_with_distance(ec2_model):
+    ds = np.linspace(800, 16000, 40)
+    lats = ec2_model.cross_latency_s(ds)
+    assert np.all(np.diff(lats) >= -1e-15)
+
+
+def test_observation1_intra_much_faster_than_inter(ec2_model):
+    intra = ec2_model.intra_bandwidth_mbs("us-east-1")
+    use = get_region("us-east-1")
+    inter = ec2_model.cross_bandwidth_mbs(
+        use.distance_km(get_region("ap-southeast-1"))
+    )
+    assert intra / inter > 10  # "over ten times higher" (Section 2.1)
+
+
+def test_intra_bandwidth_region_specific(ec2_model):
+    assert ec2_model.intra_bandwidth_mbs("us-east-1") == 148.0
+    assert ec2_model.intra_bandwidth_mbs("ap-southeast-1") == 204.0
+    # Unmeasured regions fall back to the mean of the two anchors.
+    assert ec2_model.intra_bandwidth_mbs("eu-west-1") == pytest.approx(176.0)
+
+
+def test_instance_type_scales_cross_bandwidth():
+    small = NetworkModel(instance_type="m1.small")
+    big = NetworkModel(instance_type="c3.8xlarge")
+    d = 15000.0
+    ratio = small.cross_bandwidth_mbs(d) / big.cross_bandwidth_mbs(d)
+    assert ratio == pytest.approx(5.4 / 6.6, rel=1e-6)
+
+
+def test_link_intra_vs_inter(ec2_model):
+    lat_i, bw_i = ec2_model.link("us-east-1", "us-east-1")
+    lat_x, bw_x = ec2_model.link("us-east-1", "ap-southeast-1")
+    assert lat_i < lat_x
+    assert bw_i > bw_x
+
+
+def test_azure_table3_anchors():
+    model = NetworkModel(provider="azure", instance_type="standard-d2")
+    eus = get_region("east-us", provider="azure")
+    weu = get_region("west-europe", provider="azure")
+    jpe = get_region("japan-east", provider="azure")
+    assert model.cross_bandwidth_mbs(eus.distance_km(weu)) == pytest.approx(2.9)
+    assert model.cross_latency_s(eus.distance_km(weu)) == pytest.approx(42e-3)
+    assert model.cross_bandwidth_mbs(eus.distance_km(jpe)) == pytest.approx(1.3)
+    assert model.cross_latency_s(eus.distance_km(jpe)) == pytest.approx(77e-3)
+    assert model.intra_bandwidth_mbs("east-us") == 62.0
+    assert model.intra_latency_s() == pytest.approx(0.82e-3)
+
+
+def test_provider_instance_mismatch_rejected():
+    with pytest.raises(ValueError, match="belongs to provider"):
+        NetworkModel(provider="azure", instance_type="m4.xlarge")
+    with pytest.raises(ValueError, match="provider"):
+        NetworkModel(provider="gce")
+
+
+def test_anchor_validation():
+    with pytest.raises(ValueError):
+        NetAnchor(-1.0, 5.0, 0.1)
+    with pytest.raises(ValueError):
+        NetAnchor(100.0, 0.0, 0.1)
+    with pytest.raises(ValueError):
+        NetAnchor(100.0, 5.0, 0.0)
+    with pytest.raises(ValueError, match="at least two"):
+        NetworkModel(anchors=[NetAnchor(100.0, 5.0, 0.1)])
+
+
+def test_negative_distance_rejected(ec2_model):
+    with pytest.raises(ValueError):
+        ec2_model.cross_bandwidth_mbs(-5.0)
+    with pytest.raises(ValueError):
+        ec2_model.cross_latency_s(-5.0)
+
+
+def test_anchor_helpers_exposed():
+    assert len(ec2_anchors()) == 4
+    assert len(azure_anchors()) == 3

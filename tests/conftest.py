@@ -1,0 +1,61 @@
+"""Shared fixtures: small topologies, problems, and apps used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudTopology, paper_topology
+from repro.core import MappingProblem, random_constraints
+
+
+@pytest.fixture(scope="session")
+def topo4() -> CloudTopology:
+    """The paper's 4-region x 16-node EC2 topology (fixed seed)."""
+    return paper_topology(seed=0)
+
+
+@pytest.fixture(scope="session")
+def topo2() -> CloudTopology:
+    """A small 2-region x 4-node topology for fast tests."""
+    return CloudTopology.from_regions(
+        ["us-east-1", "ap-southeast-1"], 4, instance_type="m4.xlarge", seed=0
+    )
+
+
+def make_problem(
+    n: int,
+    topology: CloudTopology,
+    *,
+    seed: int = 0,
+    constraint_ratio: float = 0.0,
+    locality: float = 0.0,
+) -> MappingProblem:
+    """Random dense problem; ``locality`` blends in a block-diagonal pattern."""
+    rng = np.random.default_rng(seed)
+    cg = rng.random((n, n)) * 1e6
+    if locality > 0:
+        block = n // topology.num_sites or 1
+        mask = (np.arange(n)[:, None] // block) == (np.arange(n)[None, :] // block)
+        cg = cg * (1 - locality) + mask * cg * locality * 20
+    np.fill_diagonal(cg, 0.0)
+    ag = np.ceil(cg / 1e5)
+    np.fill_diagonal(ag, 0.0)
+    constraints = (
+        random_constraints(n, topology.capacities, constraint_ratio, seed=seed)
+        if constraint_ratio > 0
+        else None
+    )
+    return MappingProblem.from_topology(cg, ag, topology, constraints=constraints)
+
+
+@pytest.fixture()
+def problem16(topo4) -> MappingProblem:
+    """16 processes on the 4-site topology, unconstrained."""
+    return make_problem(16, topo4, seed=1)
+
+
+@pytest.fixture()
+def problem64(topo4) -> MappingProblem:
+    """The paper-sized 64-process problem with 20% constraints."""
+    return make_problem(64, topo4, seed=2, constraint_ratio=0.2, locality=0.5)

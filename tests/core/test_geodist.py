@@ -1,0 +1,144 @@
+"""Unit tests for the Geo-distributed mapper (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomMapper
+from repro.core import GeoDistributedMapper, MappingProblem, validate_assignment
+from tests.conftest import make_problem
+
+
+def test_produces_feasible_mapping(problem64):
+    m = GeoDistributedMapper().map(problem64, seed=0)
+    validate_assignment(problem64, m.assignment)
+
+
+def test_honors_constraints(problem64):
+    m = GeoDistributedMapper().map(problem64, seed=0)
+    pinned = problem64.constraints >= 0
+    np.testing.assert_array_equal(
+        m.assignment[pinned], problem64.constraints[pinned]
+    )
+
+
+def test_beats_random_on_structured_problem(topo4):
+    p = make_problem(64, topo4, seed=5, locality=0.8)
+    geo = GeoDistributedMapper().map(p, seed=0)
+    rnd_costs = [RandomMapper().map(p, seed=s).cost for s in range(10)]
+    assert geo.cost < min(rnd_costs)
+
+
+def test_block_pattern_is_solved_near_optimally(topo4):
+    """A perfectly block-diagonal pattern should be mapped one block per
+    site, paying (almost) no inter-site traffic."""
+    n = 64
+    block = 16
+    cg = np.zeros((n, n))
+    for b in range(4):
+        sl = slice(b * block, (b + 1) * block)
+        cg[sl, sl] = 1e6
+    np.fill_diagonal(cg, 0.0)
+    ag = (cg > 0).astype(float)
+    p = MappingProblem.from_topology(cg, ag, topo4)
+    m = GeoDistributedMapper().map(p, seed=0)
+    # Every block must land entirely on one site.
+    for b in range(4):
+        sites = np.unique(m.assignment[b * block : (b + 1) * block])
+        assert sites.size == 1
+
+
+def test_deterministic_given_seeds(problem64):
+    a = GeoDistributedMapper(grouping_seed=1).map(problem64, seed=3)
+    b = GeoDistributedMapper(grouping_seed=1).map(problem64, seed=3)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+def test_max_orders_limits_search(problem64):
+    full = GeoDistributedMapper(kappa=4).map(problem64, seed=0)
+    limited = GeoDistributedMapper(kappa=4, max_orders=1).map(problem64, seed=0)
+    assert limited.cost >= full.cost  # searching fewer orders can't win
+
+
+def test_single_site_topology():
+    n = 8
+    rng = np.random.default_rng(0)
+    cg = rng.random((n, n))
+    np.fill_diagonal(cg, 0)
+    ag = np.ones((n, n))
+    np.fill_diagonal(ag, 0)
+    p = MappingProblem(
+        CG=cg,
+        AG=ag,
+        LT=np.array([[0.001]]),
+        BT=np.array([[1e8]]),
+        capacities=[n],
+        coordinates=np.array([[0.0, 0.0]]),
+    )
+    m = GeoDistributedMapper().map(p, seed=0)
+    assert np.all(m.assignment == 0)
+
+
+def test_no_coordinates_falls_back_to_single_group(topo4):
+    p = make_problem(16, topo4, seed=6)
+    stripped = MappingProblem(
+        CG=p.CG, AG=p.AG, LT=p.LT, BT=p.BT, capacities=p.capacities
+    )
+    m = GeoDistributedMapper().map(stripped, seed=0)
+    validate_assignment(stripped, m.assignment)
+
+
+def test_recursive_grouping_used_for_many_sites():
+    """12 sites in 3 geographic clusters triggers the recursive path."""
+    rng = np.random.default_rng(0)
+    m_sites = 12
+    centers = np.array([[0.0, 0.0], [40.0, 80.0], [-40.0, -80.0]])
+    coords = np.concatenate([c + rng.normal(scale=1.0, size=(4, 2)) for c in centers])
+    lt = np.full((m_sites, m_sites), 0.1)
+    bt = np.full((m_sites, m_sites), 1e6)
+    for a in range(m_sites):
+        for b in range(m_sites):
+            if a // 4 == b // 4:
+                lt[a, b], bt[a, b] = 0.001, 1e8
+    n = 24
+    cg = rng.random((n, n)) * 1e5
+    np.fill_diagonal(cg, 0)
+    ag = np.ones((n, n))
+    np.fill_diagonal(ag, 0)
+    p = MappingProblem(
+        CG=cg, AG=ag, LT=lt, BT=bt, capacities=[2] * m_sites, coordinates=coords
+    )
+    mapper = GeoDistributedMapper(kappa=3, recursive=True, recursion_limit=2)
+    m = mapper.map(p, seed=0)
+    validate_assignment(p, m.assignment)
+    # Must also beat random by a margin on this clustered network.
+    rnd = min(RandomMapper().map(p, seed=s).cost for s in range(5))
+    assert m.cost <= rnd
+
+
+def test_recursion_disabled_still_works():
+    rng = np.random.default_rng(1)
+    m_sites = 10
+    coords = rng.uniform(-50, 50, size=(m_sites, 2))
+    lt = np.full((m_sites, m_sites), 0.05)
+    np.fill_diagonal(lt, 0.001)
+    bt = np.full((m_sites, m_sites), 5e6)
+    np.fill_diagonal(bt, 1e8)
+    n = 20
+    cg = rng.random((n, n))
+    np.fill_diagonal(cg, 0)
+    ag = np.ones((n, n))
+    np.fill_diagonal(ag, 0)
+    p = MappingProblem(
+        CG=cg, AG=ag, LT=lt, BT=bt, capacities=[2] * m_sites, coordinates=coords
+    )
+    m = GeoDistributedMapper(kappa=2, recursive=False).map(p, seed=0)
+    validate_assignment(p, m.assignment)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        GeoDistributedMapper(kappa=0)
+    with pytest.raises(ValueError):
+        GeoDistributedMapper(max_orders=0)
+    with pytest.raises(ValueError):
+        GeoDistributedMapper(recursion_limit=0)

@@ -1,0 +1,101 @@
+"""Unit tests for the from-scratch K-means and site grouping."""
+
+import numpy as np
+import pytest
+
+from repro.core import group_sites, kmeans
+from repro.core.grouping import _squared_distances
+
+
+def blobs(k=3, per=30, spread=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-50, 50, size=(k, 2))
+    pts = np.concatenate([c + rng.normal(scale=spread, size=(per, 2)) for c in centers])
+    return pts, centers
+
+
+def test_kmeans_recovers_separated_blobs():
+    pts, centers = blobs(k=3)
+    res = kmeans(pts, 3, seed=0)
+    assert res.converged
+    assert res.num_clusters == 3
+    # Each found centroid is close to a true center.
+    for c in res.centroids:
+        assert np.min(np.linalg.norm(centers - c, axis=1)) < 1.0
+
+
+def test_kmeans_labels_are_nearest_centroid():
+    pts, _ = blobs(k=4, seed=1)
+    res = kmeans(pts, 4, seed=1)
+    d2 = _squared_distances(pts, res.centroids)
+    np.testing.assert_array_equal(res.labels, d2.argmin(axis=1))
+
+
+def test_kmeans_inertia_matches_definition():
+    pts, _ = blobs(k=2, seed=2)
+    res = kmeans(pts, 2, seed=2)
+    manual = sum(
+        np.sum((pts[res.labels == c] - res.centroids[c]) ** 2) for c in range(2)
+    )
+    assert res.inertia == pytest.approx(manual)
+
+
+def test_kmeans_k_equals_n_gives_zero_inertia():
+    pts = np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 1.0]])
+    res = kmeans(pts, 3, seed=0)
+    assert res.inertia == pytest.approx(0.0, abs=1e-12)
+    assert sorted(res.labels.tolist()) == [0, 1, 2]
+
+
+def test_kmeans_never_produces_empty_clusters():
+    # Points in two tight blobs but k=5 forces repair of empty clusters.
+    pts, _ = blobs(k=2, per=10, seed=3)
+    res = kmeans(pts, 5, seed=3)
+    assert set(res.labels.tolist()) == set(range(5))
+
+
+def test_kmeans_deterministic_under_seed():
+    pts, _ = blobs(k=3, seed=4)
+    a = kmeans(pts, 3, seed=7)
+    b = kmeans(pts, 3, seed=7)
+    np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def test_kmeans_validation():
+    pts, _ = blobs()
+    with pytest.raises(ValueError, match="exceeds"):
+        kmeans(pts, len(pts) + 1)
+    with pytest.raises(ValueError):
+        kmeans(pts, 0)
+    with pytest.raises(ValueError, match="2-D"):
+        kmeans(np.zeros(5), 2)
+
+
+def test_group_sites_partitions_everything(topo4):
+    groups = group_sites(topo4.coordinates, kappa=2, seed=0)
+    assert len(groups) == 2
+    covered = sorted(s for g in groups for s in g.sites)
+    assert covered == list(range(topo4.num_sites))
+
+
+def test_group_sites_kappa_capped_at_m(topo4):
+    groups = group_sites(topo4.coordinates, kappa=10, seed=0)
+    assert len(groups) == topo4.num_sites
+    assert all(g.num_sites == 1 for g in groups)
+
+
+def test_group_sites_groups_nearby_regions():
+    # US East + US West vs Singapore + Sydney: 2 groups split by ocean.
+    coords = np.array(
+        [[38.9, -77.4], [37.4, -122.0], [1.35, 103.8], [-33.9, 151.2]]
+    )
+    groups = group_sites(coords, kappa=2, seed=0)
+    partitions = {frozenset(g.sites) for g in groups}
+    assert partitions == {frozenset({0, 1}), frozenset({2, 3})}
+
+
+def test_group_sites_validation(topo4):
+    with pytest.raises(ValueError, match=r"\(M, 2\)"):
+        group_sites(np.zeros((4, 3)), 2)
+    with pytest.raises(ValueError):
+        group_sites(topo4.coordinates, 0)

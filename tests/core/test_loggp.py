@@ -1,0 +1,103 @@
+"""Unit tests for the LogGP model and its calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import PingpongCalibrator, paper_topology
+from repro.core import (
+    LOGGP_PROBE_SIZES,
+    LogGPModel,
+    LogGPParams,
+    calibrate_loggp,
+    loggp_transfer_time,
+    total_cost,
+)
+from repro.baselines import RandomMapper
+from tests.conftest import make_problem
+
+
+def test_transfer_time_formula():
+    p = LogGPParams(L=0.01, o=0.001, g=0.002, G=1e-6)
+    assert loggp_transfer_time(p, 1) == pytest.approx(0.01 + 0.002)
+    assert loggp_transfer_time(p, 1001) == pytest.approx(0.012 + 1000e-6)
+    with pytest.raises(ValueError):
+        loggp_transfer_time(p, 0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        LogGPParams(L=-1.0, o=0.0, g=0.0, G=0.0)
+    with pytest.raises(ValueError):
+        LogGPParams(L=float("nan"), o=0.0, g=0.0, G=0.0)
+
+
+def test_from_alpha_beta_consistency(topo4):
+    model = LogGPModel.from_alpha_beta(topo4.latency_s, topo4.bandwidth_Bps)
+    # L + 2o reconstructs alpha; G reconstructs 1/beta.
+    np.testing.assert_allclose(model.L + 2 * model.o, topo4.latency_s)
+    np.testing.assert_allclose(model.G, 1.0 / topo4.bandwidth_Bps)
+
+
+def test_cost_close_to_alpha_beta_for_consistent_models(topo4):
+    """With parameters derived from the same LT/BT, the LogGP cost equals
+    the alpha-beta cost up to the (n-1)-vs-n byte correction."""
+    p = make_problem(24, topo4, seed=60)
+    model = LogGPModel.from_alpha_beta(p.LT, p.BT)
+    P = RandomMapper().map(p, seed=0).assignment
+    ab = total_cost(p, P)
+    lg = model.total_cost(p, P)
+    assert lg == pytest.approx(ab, rel=0.01)
+
+
+def test_cost_ranks_mappings_like_alpha_beta(topo4):
+    """The paper's justification for the simpler model: both models must
+    order candidate mappings the same way on this network."""
+    p = make_problem(32, topo4, seed=61, locality=0.6)
+    model = LogGPModel.from_alpha_beta(p.LT, p.BT)
+    rng = np.random.default_rng(0)
+    mappings = [RandomMapper().map(p, seed=s).assignment for s in range(12)]
+    ab = np.array([total_cost(p, P) for P in mappings])
+    lg = np.array([model.total_cost(p, P) for P in mappings])
+    np.testing.assert_array_equal(np.argsort(ab), np.argsort(lg))
+
+
+def test_calibration_recovers_link_parameters(topo4):
+    cal = PingpongCalibrator(topo4, noise=0.0)
+    model, probes = calibrate_loggp(cal, samples=1)
+    # Expected probe count: M^2 pairs x sizes x samples.
+    assert probes == topo4.num_sites**2 * len(LOGGP_PROBE_SIZES)
+    # The fitted G must match the true inverse bandwidth closely.
+    np.testing.assert_allclose(model.G, 1.0 / topo4.bandwidth_Bps, rtol=1e-3)
+    # And L + 2o the true latency (intercept of the sweep).
+    np.testing.assert_allclose(
+        model.L + 2 * model.o, topo4.latency_s, rtol=0.05
+    )
+
+
+def test_calibration_cost_exceeds_alpha_beta():
+    """The paper's point: LogGP needs len(probe_sizes)x the probes of the
+    two-size alpha-beta calibration."""
+    topo = paper_topology(seed=0)
+    cal = PingpongCalibrator(topo, noise=0.0)
+    _, probes = calibrate_loggp(cal, samples=1)
+    alpha_beta_probes = topo.num_sites**2 * 2
+    assert probes >= 2 * alpha_beta_probes
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        LogGPModel(
+            L=np.zeros((2, 2)), o=np.zeros((2, 2)), g=np.zeros((2, 2)),
+            G=np.zeros((3, 3)),
+        )
+    with pytest.raises(ValueError):
+        LogGPModel(
+            L=-np.ones((2, 2)), o=np.zeros((2, 2)), g=np.zeros((2, 2)),
+            G=np.zeros((2, 2)),
+        )
+    with pytest.raises(ValueError):
+        LogGPModel.from_alpha_beta(np.zeros((2, 2)), np.ones((2, 2)), overhead_fraction=1.0)
+    with pytest.raises(ValueError):
+        calibrate_loggp(
+            PingpongCalibrator(paper_topology(), noise=0.0), probe_sizes=(8,)
+        )

@@ -1,0 +1,126 @@
+"""Unit tests for the multi-site constraint extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro._validation import as_rng
+from repro.core import (
+    UNCONSTRAINED,
+    FeasibilityError,
+    MultiSiteGeoMapper,
+    allowed_from_constraints,
+    multisite_feasible,
+    random_allowed_assignment,
+    random_multisite_constraints,
+    validate_multisite_assignment,
+)
+from repro.core.multisite import validate_allowed
+from tests.conftest import make_problem
+
+
+def test_allowed_from_constraints_lifts_pins():
+    cons = np.array([UNCONSTRAINED, 2, 0])
+    allowed = allowed_from_constraints(cons, 3)
+    assert allowed[0].all()
+    assert allowed[1].tolist() == [False, False, True]
+    assert allowed[2].tolist() == [True, False, False]
+
+
+def test_validate_allowed_rejects_empty_rows():
+    bad = np.ones((3, 2), dtype=bool)
+    bad[1] = False
+    with pytest.raises(ValueError, match="no admissible site"):
+        validate_allowed(bad, 3, 2)
+    with pytest.raises(ValueError, match="must be"):
+        validate_allowed(np.ones((2, 2), dtype=bool), 3, 2)
+
+
+def test_multisite_feasible_maxflow():
+    caps = np.array([1, 1])
+    ok = np.array([[True, False], [False, True]])
+    assert multisite_feasible(ok, caps)
+    # Both processes demand site 0 with capacity 1: infeasible.
+    clash = np.array([[True, False], [True, False]])
+    assert not multisite_feasible(clash, caps)
+    # Not enough total capacity.
+    assert not multisite_feasible(np.ones((3, 2), dtype=bool), caps)
+
+
+def test_random_multisite_constraints_stay_feasible():
+    caps = np.array([4, 4, 4, 4])
+    for seed in range(5):
+        allowed = random_multisite_constraints(
+            16, caps, 0.5, sites_per_constraint=2, seed=seed
+        )
+        assert allowed.shape == (16, 4)
+        assert multisite_feasible(allowed, caps)
+
+
+def test_random_allowed_assignment_respects_sets():
+    caps = np.array([2, 2, 2])
+    allowed = np.ones((6, 3), dtype=bool)
+    allowed[0] = [True, False, False]
+    allowed[1] = [False, True, False]
+    rng = as_rng(0)
+    for _ in range(10):
+        P = random_allowed_assignment(allowed, caps, rng)
+        assert P[0] == 0 and P[1] == 1
+        assert np.all(np.bincount(P, minlength=3) <= caps)
+
+
+def test_random_allowed_assignment_raises_on_infeasible():
+    caps = np.array([1, 1])
+    clash = np.array([[True, False], [True, False]])
+    with pytest.raises(FeasibilityError):
+        random_allowed_assignment(clash, caps, as_rng(0), max_tries=4)
+
+
+def test_multisite_geo_mapper_feasible_and_good(topo4):
+    p = make_problem(64, topo4, seed=30, locality=0.7)
+    allowed = random_multisite_constraints(
+        64, topo4.capacities, 0.4, sites_per_constraint=2, seed=1
+    )
+    mapper = MultiSiteGeoMapper(allowed)
+    m = mapper.map(p, seed=0)
+    validate_multisite_assignment(p, allowed, m.assignment)
+    # It should still beat unconstrained-random placement on average.
+    rng = as_rng(2)
+    rnd_costs = []
+    from repro.core import total_cost
+
+    for _ in range(8):
+        P = random_allowed_assignment(allowed, topo4.capacities, rng)
+        rnd_costs.append(total_cost(p, P))
+    assert m.cost < np.mean(rnd_costs)
+
+
+def test_multisite_mapper_matches_single_site_semantics(topo4):
+    """Encoding single-site pins as one-True rows must reproduce pin
+    behaviour exactly."""
+    p = make_problem(32, topo4, seed=31)
+    allowed = np.ones((32, 4), dtype=bool)
+    allowed[5] = [False, False, True, False]
+    m = MultiSiteGeoMapper(allowed).map(p, seed=0)
+    assert m.assignment[5] == 2
+
+
+def test_multisite_mapper_rejects_problem_with_pins(topo4):
+    p = make_problem(32, topo4, seed=32, constraint_ratio=0.2)
+    allowed = np.ones((32, 4), dtype=bool)
+    with pytest.raises(ValueError, match="single-site"):
+        MultiSiteGeoMapper(allowed).map(p, seed=0)
+
+
+def test_multisite_mapper_rejects_infeasible(topo4):
+    p = make_problem(32, topo4, seed=33)
+    allowed = np.ones((32, 4), dtype=bool)
+    # 20 processes forced onto site 0 (capacity 16): infeasible.
+    allowed[:20, :] = False
+    allowed[:20, 0] = True
+    with pytest.raises(FeasibilityError, match="infeasible"):
+        MultiSiteGeoMapper(allowed).map(p, seed=0)
+
+
+def test_sites_per_constraint_validation():
+    with pytest.raises(ValueError):
+        random_multisite_constraints(8, np.array([4, 4]), 0.5, sites_per_constraint=3)

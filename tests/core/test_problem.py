@@ -1,0 +1,148 @@
+"""Unit tests for :mod:`repro.core.problem`."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import UNCONSTRAINED, MappingProblem
+from tests.conftest import make_problem
+
+
+def _matrices(n=6, m=3):
+    rng = np.random.default_rng(0)
+    cg = rng.random((n, n))
+    np.fill_diagonal(cg, 0.0)
+    ag = np.ones((n, n))
+    np.fill_diagonal(ag, 0.0)
+    lt = np.full((m, m), 0.1)
+    np.fill_diagonal(lt, 0.001)
+    bt = np.full((m, m), 1e6)
+    np.fill_diagonal(bt, 1e8)
+    caps = np.full(m, n)
+    return cg, ag, lt, bt, caps
+
+
+def test_basic_construction_and_properties():
+    cg, ag, lt, bt, caps = _matrices()
+    p = MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps)
+    assert p.num_processes == 6
+    assert p.num_sites == 3
+    assert not p.is_sparse
+    assert p.num_constrained == 0
+    assert p.constraint_ratio == 0.0
+    assert np.all(p.constraints == UNCONSTRAINED)
+
+
+def test_sparse_matrices_accepted_and_flagged():
+    cg, ag, lt, bt, caps = _matrices()
+    p = MappingProblem(
+        CG=sp.csr_matrix(cg), AG=sp.coo_matrix(ag), LT=lt, BT=bt, capacities=caps
+    )
+    assert p.is_sparse
+    assert sp.issparse(p.CG) and sp.issparse(p.AG)
+    np.testing.assert_allclose(p.dense_CG(), cg)
+    np.testing.assert_allclose(p.dense_AG(), ag)
+
+
+def test_nonzero_diagonal_rejected():
+    cg, ag, lt, bt, caps = _matrices()
+    bad = cg.copy()
+    bad[2, 2] = 5.0
+    with pytest.raises(ValueError, match="diagonal"):
+        MappingProblem(CG=bad, AG=ag, LT=lt, BT=bt, capacities=caps)
+
+
+def test_negative_entries_rejected():
+    cg, ag, lt, bt, caps = _matrices()
+    bad = cg.copy()
+    bad[0, 1] = -1.0
+    with pytest.raises(ValueError, match="negative"):
+        MappingProblem(CG=bad, AG=ag, LT=lt, BT=bt, capacities=caps)
+
+
+def test_shape_mismatch_rejected():
+    cg, ag, lt, bt, caps = _matrices()
+    with pytest.raises(ValueError):
+        MappingProblem(CG=cg, AG=ag[:4, :4], LT=lt, BT=bt, capacities=caps)
+    with pytest.raises(ValueError):
+        MappingProblem(CG=cg, AG=ag, LT=lt[:2, :2], BT=bt, capacities=caps)
+
+
+def test_zero_bandwidth_rejected():
+    cg, ag, lt, bt, caps = _matrices()
+    bt = bt.copy()
+    bt[0, 1] = 0.0
+    with pytest.raises(ValueError, match="positive"):
+        MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps)
+
+
+def test_insufficient_capacity_rejected():
+    cg, ag, lt, bt, _ = _matrices()
+    with pytest.raises(ValueError, match="capacity"):
+        MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=[1, 1, 1])
+
+
+def test_constraints_validated():
+    cg, ag, lt, bt, caps = _matrices()
+    cons = np.full(6, UNCONSTRAINED)
+    cons[0] = 99
+    with pytest.raises(ValueError, match="invalid sites"):
+        MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps, constraints=cons)
+
+
+def test_constraints_overfill_rejected():
+    cg, ag, lt, bt, _ = _matrices()
+    cons = np.zeros(6, dtype=np.int64)  # all pinned to site 0
+    with pytest.raises(ValueError, match="overfill"):
+        MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=[2, 4, 4], constraints=cons)
+
+
+def test_constraint_ratio_and_count():
+    cg, ag, lt, bt, caps = _matrices()
+    cons = np.full(6, UNCONSTRAINED)
+    cons[1] = 0
+    cons[4] = 2
+    p = MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps, constraints=cons)
+    assert p.num_constrained == 2
+    assert p.constraint_ratio == pytest.approx(2 / 6)
+
+
+def test_with_constraints_returns_new_problem():
+    cg, ag, lt, bt, caps = _matrices()
+    p = MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps)
+    cons = np.full(6, UNCONSTRAINED)
+    cons[0] = 1
+    q = p.with_constraints(cons)
+    assert q.num_constrained == 1
+    assert p.num_constrained == 0  # original untouched
+
+
+def test_communication_quantity_dense_vs_sparse():
+    cg, ag, lt, bt, caps = _matrices()
+    dense = MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps)
+    sparse = MappingProblem(
+        CG=sp.csr_matrix(cg), AG=sp.csr_matrix(ag), LT=lt, BT=bt, capacities=caps
+    )
+    np.testing.assert_allclose(
+        dense.communication_quantity(), sparse.communication_quantity()
+    )
+    expected = cg.sum(axis=1) + cg.sum(axis=0)
+    np.testing.assert_allclose(dense.communication_quantity(), expected)
+
+
+def test_from_topology_wires_everything(topo4):
+    p = make_problem(16, topo4)
+    assert p.num_sites == topo4.num_sites
+    np.testing.assert_allclose(p.LT, topo4.latency_s)
+    np.testing.assert_allclose(p.BT, topo4.bandwidth_Bps)
+    np.testing.assert_array_equal(p.capacities, topo4.capacities)
+    np.testing.assert_allclose(p.coordinates, topo4.coordinates)
+
+
+def test_matrices_are_frozen():
+    cg, ag, lt, bt, caps = _matrices()
+    p = MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps)
+    with pytest.raises(ValueError):
+        p.LT[0, 0] = 5.0
+    with pytest.raises(ValueError):
+        p.CG[0, 1] = 5.0

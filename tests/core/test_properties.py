@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import RandomMapper
+from repro.core import (
+    CostEvaluator,
+    GeoDistributedMapper,
+    MappingProblem,
+    random_constraints,
+    total_cost,
+    validate_assignment,
+)
+
+
+@st.composite
+def problems(draw):
+    """Small random mapping problems with coordinates."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    m = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    cg = rng.random((n, n)) * draw(st.floats(min_value=1.0, max_value=1e6))
+    np.fill_diagonal(cg, 0.0)
+    ag = np.ceil(cg / max(cg.max(), 1.0) * 5)
+    np.fill_diagonal(ag, 0.0)
+    lt = rng.uniform(1e-4, 1e-1, size=(m, m))
+    bt = rng.uniform(1e5, 1e8, size=(m, m))
+    extra = draw(st.integers(min_value=0, max_value=4))
+    caps = rng.multinomial(n + extra, np.ones(m) / m) + 1
+    coords = rng.uniform(-60, 60, size=(m, 2))
+    return MappingProblem(
+        CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps, coordinates=coords
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems(), st.integers(min_value=0, max_value=100))
+def test_random_mapper_always_feasible(problem, seed):
+    m = RandomMapper().map(problem, seed=seed)
+    validate_assignment(problem, m.assignment)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems(), st.integers(min_value=0, max_value=100))
+def test_geo_mapper_always_feasible_and_no_worse_than_its_parts(problem, seed):
+    m = GeoDistributedMapper(kappa=3).map(problem, seed=seed)
+    validate_assignment(problem, m.assignment)
+    assert np.isfinite(m.cost) and m.cost >= 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems(), st.integers(min_value=0, max_value=1000))
+def test_move_and_swap_deltas_consistent(problem, seed):
+    rng = np.random.default_rng(seed)
+    P = RandomMapper().map(problem, seed=rng).assignment.copy()
+    ev = CostEvaluator(problem)
+    base = total_cost(problem, P)
+    n, m = problem.num_processes, problem.num_sites
+    i = int(rng.integers(n))
+    j = int(rng.integers(n))
+    s = int(rng.integers(m))
+    P_move = P.copy()
+    P_move[i] = s
+    assert ev.move_delta(P, i, s) == pytest.approx(
+        total_cost(problem, P_move) - base, rel=1e-9, abs=1e-9
+    )
+    P_swap = P.copy()
+    P_swap[i], P_swap[j] = P_swap[j], P_swap[i]
+    assert ev.swap_delta(P, i, j) == pytest.approx(
+        total_cost(problem, P_swap) - base, rel=1e-9, abs=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems(), st.integers(min_value=0, max_value=1000))
+def test_cost_invariant_under_site_relabeling(problem, seed):
+    """Renaming sites (permuting LT/BT/capacities consistently) leaves the
+    cost of the correspondingly-permuted assignment unchanged."""
+    rng = np.random.default_rng(seed)
+    m = problem.num_sites
+    perm = rng.permutation(m)
+    P = RandomMapper().map(problem, seed=rng).assignment
+    relabeled = MappingProblem(
+        CG=problem.CG,
+        AG=problem.AG,
+        LT=problem.LT[np.ix_(perm, perm)],
+        BT=problem.BT[np.ix_(perm, perm)],
+        capacities=problem.capacities[perm],
+        coordinates=problem.coordinates[perm]
+        if problem.coordinates is not None
+        else None,
+    )
+    inv = np.empty(m, dtype=np.int64)
+    inv[perm] = np.arange(m)
+    assert total_cost(relabeled, inv[P]) == pytest.approx(
+        total_cost(problem, P), rel=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=5),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_random_constraints_always_feasible(n, m, ratio, seed):
+    rng = np.random.default_rng(seed)
+    caps = rng.multinomial(n, np.ones(m) / m) + 1
+    cons = random_constraints(n, caps, ratio, seed=seed)
+    pinned = cons[cons >= 0]
+    assert pinned.size == round(ratio * n)
+    if pinned.size:
+        counts = np.bincount(pinned, minlength=m)
+        assert np.all(counts <= caps)
+
+
+@settings(max_examples=30, deadline=None)
+@given(problems())
+def test_cost_nonnegative_and_zero_traffic_zero_cost(problem):
+    P = RandomMapper().map(problem, seed=0).assignment
+    assert total_cost(problem, P) >= 0.0
+    silent = MappingProblem(
+        CG=np.zeros_like(problem.dense_CG()),
+        AG=np.zeros_like(problem.dense_AG()),
+        LT=problem.LT,
+        BT=problem.BT,
+        capacities=problem.capacities,
+    )
+    assert total_cost(silent, P) == 0.0

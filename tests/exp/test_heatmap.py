@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII heatmap renderer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps import LUApp
+from repro.exp import ascii_heatmap
+
+
+def test_zero_matrix_renders_blank():
+    out = ascii_heatmap(np.zeros((3, 3)))
+    lines = out.splitlines()
+    assert len(lines) == 3
+    assert all(set(l) <= {" "} for l in lines)
+
+
+def test_intensity_ordering():
+    m = np.array([[0.0, 1.0], [10.0, 1000.0]])
+    out = ascii_heatmap(m, log_scale=False)
+    ramp = " .:-=+*#%@"
+    rows = out.splitlines()
+    assert rows[0][0] == " "  # exact zero stays blank
+    assert ramp.index(rows[1][1]) > ramp.index(rows[1][0])
+    assert ramp.index(rows[1][0]) >= ramp.index(rows[0][1])
+
+
+def test_title_prepended():
+    out = ascii_heatmap(np.ones((2, 2)), title="CG")
+    assert out.splitlines()[0] == "CG"
+    assert len(out.splitlines()) == 3
+
+
+def test_downsampling_preserves_shape_budget():
+    m = np.ones((200, 200))
+    out = ascii_heatmap(m, max_size=50)
+    lines = out.splitlines()
+    assert len(lines) <= 50
+    assert max(len(l) for l in lines) <= 50
+
+
+def test_sparse_input_accepted():
+    dense = np.zeros((8, 8))
+    dense[0, 7] = 3.0
+    dense[3, 4] = 5.0
+    out = ascii_heatmap(sp.csr_matrix(dense))
+    assert len(out.splitlines()) == 8
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        ascii_heatmap(np.array([[-1.0]]))
+    with pytest.raises(ValueError, match="2-D"):
+        ascii_heatmap(np.zeros(4))
+
+
+def test_lu_pattern_is_visibly_diagonal():
+    cg, _, _ = LUApp(64, iterations=4).profile()
+    out = ascii_heatmap(cg)
+    lines = out.splitlines()
+    # The diagonal band is non-blank; far corners are blank.
+    assert lines[0][1] != " "
+    assert lines[0][40] == " "
+    assert lines[63][62] != " "

@@ -1,0 +1,48 @@
+"""Unit tests for improvement statistics."""
+
+import pytest
+
+from repro.exp import Summary, baseline_reference, improvement_pct, summarize
+
+
+def test_improvement_pct_basic():
+    assert improvement_pct(100.0, 50.0) == pytest.approx(50.0)
+    assert improvement_pct(100.0, 100.0) == 0.0
+    assert improvement_pct(100.0, 110.0) == pytest.approx(-10.0)
+
+
+def test_improvement_pct_rejects_nonpositive_baseline():
+    with pytest.raises(ValueError):
+        improvement_pct(0.0, 5.0)
+    with pytest.raises(ValueError):
+        improvement_pct(-1.0, 5.0)
+
+
+def test_summarize_mean_and_stderr():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.mean == pytest.approx(2.5)
+    assert s.std_error == pytest.approx(1.2909944 / 2, rel=1e-5)
+    assert s.n == 4
+
+
+def test_summarize_single_value():
+    s = summarize([7.0])
+    assert s.mean == 7.0
+    assert s.std_error == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_baseline_reference_is_mean():
+    assert baseline_reference([10.0, 20.0]) == pytest.approx(15.0)
+    with pytest.raises(ValueError):
+        baseline_reference([])
+    with pytest.raises(ValueError):
+        baseline_reference([1.0, -2.0])
+
+
+def test_summary_str():
+    assert "±" in str(Summary(mean=1.0, std_error=0.1, n=3))

@@ -1,0 +1,63 @@
+"""Unit tests for report formatting."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps import LUApp
+from repro.exp import format_matrix_summary, format_series, format_table
+
+
+def test_format_table_alignment_and_title():
+    out = format_table(
+        ["name", "value"], [["a", 1.5], ["bb", 20000.0]], title="Table X"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Table X"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    # Columns align: all rows same width.
+    assert len(set(len(l) for l in lines[1:])) == 1
+
+
+def test_format_table_float_rendering():
+    out = format_table(["x"], [[0.000123], [1234567.0], [3.14159]])
+    assert "0.000123" in out
+    assert "1,234,567" in out
+    assert "3.14" in out
+
+
+def test_format_table_row_mismatch():
+    with pytest.raises(ValueError, match="cells for"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_series():
+    out = format_series(
+        "N", [64, 128], {"Geo": [50.0, 48.0], "Greedy": [30.0, 20.0]},
+        title="Figure Y",
+    )
+    assert "Figure Y" in out
+    assert "Geo" in out and "Greedy" in out
+    assert "64" in out and "128" in out
+
+
+def test_format_series_length_mismatch():
+    with pytest.raises(ValueError, match="points for"):
+        format_series("N", [1, 2], {"a": [1.0]})
+
+
+def test_format_matrix_summary_dense():
+    app = LUApp(16, iterations=2)
+    cg, ag, _ = app.profile()
+    s = format_matrix_summary("LU", cg, ag)
+    assert "N=16" in s
+    assert "42KB" in s or "43KB" in s  # the paper's east-west size
+    assert "83KB" in s
+
+
+def test_format_matrix_summary_sparse():
+    cg = sp.csr_matrix(np.array([[0.0, 2048.0], [0.0, 0.0]]))
+    ag = sp.csr_matrix(np.array([[0.0, 2.0], [0.0, 0.0]]))
+    s = format_matrix_summary("tiny", cg, ag)
+    assert "N=2" in s and "pairs=1" in s

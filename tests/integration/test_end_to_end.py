@@ -1,0 +1,115 @@
+"""Integration tests: the full profile -> map -> simulate pipeline.
+
+These assert the headline *shape* claims of the paper on miniature
+versions of its experiments:
+
+* Geo-distributed always beats the Baseline average, on additive cost
+  and on simulated communication time;
+* Geo-distributed sits deep in the left tail of the Monte Carlo cost
+  distribution (Fig. 9's claim);
+* the optimization overhead ordering Greedy <= Geo << MPIPP holds at a
+  non-trivial scale (Fig. 4's claim);
+* Geo-distributed equals Greedy-like overhead when M == 1 (Section 5.2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_paper_app, PAPER_APPS
+from repro.baselines import monte_carlo_costs
+from repro.cloud import CloudTopology
+from repro.core import GeoDistributedMapper, total_cost
+from repro.exp import (
+    build_problem,
+    default_mappers,
+    improvement_pct,
+    paper_ec2_scenario,
+    run_comparison,
+)
+
+#: Short-iteration variants so the suite stays fast.
+_FAST = {
+    "LU": dict(iterations=6),
+    "BT": dict(iterations=4),
+    "SP": dict(iterations=4),
+    "K-means": dict(iterations=8),
+    "DNN": dict(rounds=6),
+}
+
+
+@pytest.mark.parametrize("app_name", PAPER_APPS)
+def test_geo_beats_baseline_on_every_paper_app(app_name):
+    scn = paper_ec2_scenario(app_name, seed=0, **_FAST[app_name])
+    res = run_comparison(scn.app, scn.problem, default_mappers(), seed=0)
+    base = res["Baseline"]
+    geo = res["Geo-distributed"]
+    assert geo.mapping.cost < base.mapping.cost
+    assert improvement_pct(base.comm_time_s, geo.comm_time_s) > 10.0
+
+
+@pytest.mark.parametrize("app_name", ["LU", "K-means"])
+def test_geo_in_monte_carlo_left_tail(app_name):
+    scn = paper_ec2_scenario(app_name, seed=0, **_FAST[app_name])
+    geo = GeoDistributedMapper().map(scn.problem, seed=0)
+    mc = monte_carlo_costs(scn.problem, 2000, seed=1)
+    # Fig. 9: fewer than ~1-10% of random mappings beat Geo (paper: <1%).
+    assert mc.quantile_of(geo.cost) < 0.10
+
+
+def test_overhead_ordering_at_scale():
+    """At 4 sites / 256 processes MPIPP must cost much more wall time
+    than Geo, and Greedy the least (Fig. 4)."""
+    from repro.exp import scale_scenario
+
+    scn = scale_scenario("LU", 256, seed=0)
+    res = run_comparison(scn.app, scn.problem, default_mappers(), seed=0, simulate=False)
+    t = {k: r.mapping.elapsed_s for k, r in res.items()}
+    assert t["Greedy"] < t["Geo-distributed"]
+    assert t["MPIPP"] > t["Geo-distributed"]
+
+
+def test_geo_reduces_to_greedy_like_single_site_case():
+    """With M = 1 there is one group and one order: the costly sweep
+    disappears (Section 5.2: 'Geo-distributed is actually equivalent to
+    Greedy' when the number of sites is one)."""
+    topo = CloudTopology.from_regions(["us-east-1"], 32, seed=0)
+    app = make_paper_app("LU", 32, iterations=4)
+    p = build_problem(app, topo, constraint_ratio=0.0)
+    geo = GeoDistributedMapper().map(p, seed=0)
+    assert np.all(geo.assignment == 0)
+
+
+def test_constraint_sweep_monotone_shrinks_headroom():
+    """As the constraint ratio grows toward 1, the gap between Geo and
+    Baseline must close (Fig. 8's limiting behaviour)."""
+    app = make_paper_app("LU", 64, iterations=5)
+    topo = CloudTopology.from_regions(
+        ["us-east-1", "us-west-1", "ap-southeast-1", "eu-west-1"], 16, seed=0
+    )
+    gaps = []
+    for ratio in (0.0, 0.5, 1.0):
+        p = build_problem(app, topo, constraint_ratio=ratio, seed=3)
+        geo = GeoDistributedMapper().map(p, seed=0)
+        base_costs = [
+            total_cost(p, np.random.default_rng(s).permutation(np.repeat(np.arange(4), 16)))
+            if ratio == 0.0
+            else None
+            for s in range(3)
+        ]
+        from repro.baselines import RandomMapper
+
+        base = np.mean([RandomMapper().map(p, seed=s).cost for s in range(5)])
+        gaps.append(improvement_pct(base, geo.cost))
+    assert gaps[0] > gaps[2] - 1e-9
+    assert gaps[2] == pytest.approx(0.0, abs=1e-6)  # ratio 1: nothing to optimize
+
+
+def test_full_registry_pipeline():
+    """Every registered mapper completes the paper scenario feasibly."""
+    from repro.core import available_mappers, get_mapper, validate_assignment
+
+    scn = paper_ec2_scenario("LU", seed=0, iterations=3)
+    for name in available_mappers():
+        mapper = get_mapper(name)
+        m = mapper.map(scn.problem, seed=0)
+        validate_assignment(scn.problem, m.assignment)

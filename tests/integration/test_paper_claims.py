@@ -1,0 +1,118 @@
+"""Integration tests codifying the paper's prose claims.
+
+Each test is one sentence from the paper turned into an assertion
+against this reproduction — cheap versions of what the benchmark harness
+measures at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    NetworkModel,
+    calibration_overhead_minutes,
+    get_region,
+    paper_topology,
+)
+from repro.core import GeoDistributedMapper
+from repro.exp import (
+    default_mappers,
+    improvement_pct,
+    paper_ec2_scenario,
+    run_comparison,
+)
+
+
+def test_claim_intra_bandwidth_over_ten_times_inter():
+    """Section 2.1, Observation 1: 'the network bandwidth within a single
+    cloud region can be over ten times higher than that between two
+    geo-distributed regions'."""
+    model = NetworkModel(instance_type="c3.8xlarge")
+    use = get_region("us-east-1")
+    sgp = get_region("ap-southeast-1")
+    intra = model.intra_bandwidth_mbs("us-east-1")
+    inter = model.cross_bandwidth_mbs(use.distance_km(sgp))
+    assert intra > 10 * inter
+
+
+def test_claim_short_distance_bandwidth_three_times_long():
+    """Section 2.1, Observation 2: short-distance bandwidth 'can be three
+    times higher' than long-distance."""
+    model = NetworkModel(instance_type="c3.8xlarge")
+    use = get_region("us-east-1")
+    short = model.cross_bandwidth_mbs(use.distance_km(get_region("us-west-1")))
+    long = model.cross_bandwidth_mbs(use.distance_km(get_region("ap-southeast-1")))
+    assert short / long > 2.8
+
+
+def test_claim_calibration_180_days_vs_12_minutes():
+    """Section 4.2: 4 sites x 128 nodes — 'over 180 days' all-pairs vs
+    'only 12 minutes' site-pairs."""
+    traditional, ours = calibration_overhead_minutes(4, 128)
+    assert traditional > 180 * 24 * 60
+    assert ours == 12
+
+
+def test_claim_geo_overhead_under_one_percent_of_runtime():
+    """Section 5.2: Geo's optimization overhead 'contributes to less than
+    1% of the total elapsed time of all applications' (and is absolutely
+    'less than 1 minute').  The wall-clock measurement is repeated and the
+    minimum taken so a loaded CI machine cannot flake the bound; the
+    percentage threshold carries a small scheduling margin."""
+    scn = paper_ec2_scenario("LU", seed=0, iterations=10)
+    elapsed = []
+    for _ in range(3):
+        res = run_comparison(
+            scn.app,
+            scn.problem,
+            {"Geo-distributed": GeoDistributedMapper()},
+            seed=0,
+            simulate=False,
+        )
+        elapsed.append(res["Geo-distributed"].mapping.elapsed_s)
+    res = run_comparison(
+        scn.app, scn.problem, {"Geo-distributed": GeoDistributedMapper()}, seed=0
+    )
+    total = res["Geo-distributed"].total_time_s
+    best = min(elapsed)
+    assert best < 60.0
+    assert best < 0.02 * total
+
+
+def test_claim_geo_wins_on_average_over_compared_algorithms():
+    """Abstract: 'significant performance improvement (50% on average)
+    compared to the state-of-the-art algorithms' — we require Geo to top
+    the comparison set on the communication cost for the flagship apps."""
+    for app_name, kwargs in (("LU", dict(iterations=8)), ("DNN", dict(rounds=8))):
+        scn = paper_ec2_scenario(app_name, seed=0, **kwargs)
+        res = run_comparison(
+            scn.app, scn.problem, default_mappers(), seed=0, simulate=False
+        )
+        costs = {k: r.mapping.cost for k, r in res.items()}
+        assert costs["Geo-distributed"] == min(costs.values())
+        assert improvement_pct(costs["Baseline"], costs["Geo-distributed"]) > 30
+
+
+def test_claim_network_stability_under_five_percent():
+    """Section 4.2: 'the network performance of inter-site and intra-site
+    is rather stable, generally with small variation (smaller than 5%)'."""
+    from repro.cloud import PingpongCalibrator
+
+    topo = paper_topology(seed=0)
+    cal = PingpongCalibrator(topo, noise=0.015, seed=0).calibrate(
+        days=3, samples_per_day=10
+    )
+    off = ~np.eye(topo.num_sites, dtype=bool)
+    assert cal.latency_rel_std[off].max() < 0.05
+    assert cal.bandwidth_rel_std[off].max() < 0.05
+
+
+def test_claim_lu_process_one_neighbors():
+    """Section 5.1 / Fig. 3: 'the process 1 only communicates with
+    processes 2 and 8 for LU' (1-based; ranks 1 -> {0, 2, 9} 0-based
+    including the reverse edge to 0)."""
+    from repro.apps import LUApp
+
+    cg, _, _ = LUApp(64, iterations=4).profile()
+    partners = set(np.flatnonzero(cg[1] + cg[:, 1]))
+    assert partners == {0, 2, 9}

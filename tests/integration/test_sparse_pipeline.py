@@ -1,0 +1,75 @@
+"""Integration: large-N sparse problems flow through the whole pipeline.
+
+Above :data:`repro.simmpi.tracing.DENSE_LIMIT` ranks, profiles come back
+as CSR matrices; every mapper and the cost engine must handle them
+identically to dense input, because the Fig. 7 scalability sweep depends
+on it.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines import GreedyMapper, MPIPPMapper, RandomMapper
+from repro.core import GeoDistributedMapper, total_cost, validate_assignment
+from repro.exp import scale_scenario
+
+
+@pytest.fixture(scope="module")
+def sparse_scenario():
+    scn = scale_scenario("LU", 512, seed=0)
+    assert sp.issparse(scn.problem.CG), "512-rank profile should be sparse"
+    return scn
+
+
+def test_all_mappers_handle_sparse(sparse_scenario):
+    problem = sparse_scenario.problem
+    mappers = [
+        RandomMapper(),
+        GreedyMapper(),
+        GeoDistributedMapper(),
+        MPIPPMapper(restarts=1, max_passes=2, fast_refine=True),
+    ]
+    costs = {}
+    for mapper in mappers:
+        m = mapper.map(problem, seed=0)
+        validate_assignment(problem, m.assignment)
+        costs[mapper.name] = m.cost
+    assert costs["geo-distributed"] < costs["baseline"]
+    assert costs["greedy"] < costs["baseline"]
+
+
+def test_sparse_cost_matches_densified(sparse_scenario):
+    problem = sparse_scenario.problem
+    from repro.core import MappingProblem
+
+    dense = MappingProblem(
+        CG=problem.dense_CG(),
+        AG=problem.dense_AG(),
+        LT=problem.LT,
+        BT=problem.BT,
+        capacities=problem.capacities,
+        constraints=problem.constraints,
+        coordinates=problem.coordinates,
+    )
+    P = RandomMapper().map(problem, seed=1).assignment
+    assert total_cost(problem, P) == pytest.approx(total_cost(dense, P))
+
+
+def test_geo_sparse_equals_geo_dense(sparse_scenario):
+    """The algorithm's decisions must not depend on the storage format."""
+    problem = sparse_scenario.problem
+    from repro.core import MappingProblem
+
+    dense = MappingProblem(
+        CG=problem.dense_CG(),
+        AG=problem.dense_AG(),
+        LT=problem.LT,
+        BT=problem.BT,
+        capacities=problem.capacities,
+        constraints=problem.constraints,
+        coordinates=problem.coordinates,
+    )
+    a = GeoDistributedMapper(max_orders=2).map(problem, seed=0)
+    b = GeoDistributedMapper(max_orders=2).map(dense, seed=0)
+    np.testing.assert_array_equal(a.assignment, b.assignment)

@@ -1,0 +1,129 @@
+"""Unit tests for collective message-stream lowering."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    Simulator,
+    TraceRecorder,
+    UniformNetwork,
+    allgather_ring,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    alltoall,
+    barrier_dissemination,
+    bcast,
+    reduce,
+)
+
+SIZES = [1, 2, 3, 4, 5, 8, 13, 16, 17]
+
+
+def run_collective(coll, size, nbytes=1000, **kwargs):
+    def program(ctx):
+        yield from coll(ctx, nbytes, **kwargs)
+
+    tr = TraceRecorder(size)
+    res = Simulator(size, program, UniformNetwork(), tracer=tr).run()
+    return res, tr
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bcast_message_count_and_reach(size):
+    res, tr = run_collective(bcast, size)
+    assert res.total_messages == size - 1
+    cg, _ = tr.communication_matrices()
+    if size > 1:
+        # Every non-root rank receives exactly once.
+        received = np.asarray((cg > 0).sum(axis=0)).ravel()
+        assert received[0] == 0
+        assert np.all(received[1:] == 1)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_nonzero_root(size, root):
+    if root >= size:
+        pytest.skip("root out of range for this size")
+    res, tr = run_collective(bcast, size, root=root)
+    assert res.total_messages == size - 1
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_reduce_message_count(size):
+    res, tr = run_collective(reduce, size)
+    assert res.total_messages == size - 1
+    cg, _ = tr.communication_matrices()
+    if size > 1:
+        sent = np.asarray((cg > 0).sum(axis=1)).ravel()
+        assert sent[0] == 0  # root only receives
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_recursive_doubling_counts(size):
+    res, _ = run_collective(allreduce_recursive_doubling, size)
+    pow2 = 1
+    while pow2 * 2 <= size:
+        pow2 *= 2
+    rem = size - pow2
+    expected = 2 * rem + pow2 * int(np.log2(pow2))
+    assert res.total_messages == expected
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_ring_counts_and_chunks(size):
+    nbytes = 1024
+    res, tr = run_collective(allreduce_ring, size, nbytes=nbytes)
+    if size == 1:
+        assert res.total_messages == 0
+        return
+    assert res.total_messages == 2 * (size - 1) * size
+    cg, ag = tr.communication_matrices()
+    # Each rank only talks to its ring successor.
+    for r in range(size):
+        peers = np.flatnonzero(np.asarray(cg[r]).ravel())
+        assert peers.tolist() == [(r + 1) % size]
+    chunk = max(1, (nbytes + size - 1) // size)
+    assert res.total_bytes == 2 * (size - 1) * size * chunk
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allgather_ring_counts(size):
+    res, _ = run_collective(allgather_ring, size)
+    assert res.total_messages == (size - 1) * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_alltoall_counts(size):
+    res, tr = run_collective(alltoall, size)
+    assert res.total_messages == size * (size - 1)
+    if size > 1:
+        cg, _ = tr.communication_matrices()
+        dense = np.asarray(cg)
+        # Every ordered pair communicates exactly once.
+        off_diag = dense[~np.eye(size, dtype=bool)]
+        assert np.all(off_diag > 0)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_barrier_dissemination_rounds(size):
+    def program(ctx):
+        yield from barrier_dissemination(ctx)
+
+    res = Simulator(size, program, UniformNetwork()).run()
+    rounds = int(np.ceil(np.log2(size))) if size > 1 else 0
+    assert res.total_messages == rounds * size
+
+
+def test_collective_validation():
+    from repro.simmpi.engine import RankContext
+
+    ctx = RankContext(rank=0, size=4)
+    with pytest.raises(ValueError):
+        list(bcast(ctx, 0))
+    with pytest.raises(ValueError):
+        list(bcast(ctx, 100, root=9))
+    with pytest.raises(ValueError):
+        list(reduce(ctx, 100, root=-1))
+    with pytest.raises(ValueError):
+        list(allreduce_ring(ctx, -5))

@@ -1,0 +1,34 @@
+"""Unit tests for operation-object validation."""
+
+import pytest
+
+from repro.simmpi import Barrier, Compute, Recv, Send
+
+
+def test_send_validation():
+    Send(dst=1, nbytes=10, tag=3)  # ok
+    with pytest.raises(ValueError):
+        Send(dst=-1, nbytes=10)
+    with pytest.raises(ValueError):
+        Send(dst=0, nbytes=0)
+
+
+def test_recv_validation():
+    Recv(src=0)
+    with pytest.raises(ValueError):
+        Recv(src=-2)
+
+
+def test_compute_validation():
+    Compute(0.0)
+    Compute(5.5)
+    with pytest.raises(ValueError):
+        Compute(-1.0)
+
+
+def test_ops_are_frozen():
+    s = Send(dst=1, nbytes=10)
+    with pytest.raises(AttributeError):
+        s.dst = 2
+    b = Barrier()
+    assert isinstance(b, Barrier)

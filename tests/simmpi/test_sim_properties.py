@@ -1,0 +1,113 @@
+"""Property-based tests for the discrete-event simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MappingProblem
+from repro.simmpi import (
+    Compute,
+    Recv,
+    Send,
+    SimNetwork,
+    Simulator,
+    UniformNetwork,
+    allreduce_ring,
+    alltoall,
+)
+
+
+def ring_program_factory(iterations, nbytes, compute):
+    def program(ctx):
+        if ctx.size == 1:
+            return
+        nxt = (ctx.rank + 1) % ctx.size
+        prv = (ctx.rank - 1) % ctx.size
+        for it in range(iterations):
+            if compute > 0:
+                yield Compute(compute)
+            yield Send(dst=nxt, nbytes=nbytes, tag=it)
+            yield Recv(src=prv, tag=it)
+
+    return program
+
+
+def random_problem(n_ranks, m_sites, seed):
+    rng = np.random.default_rng(seed)
+    lt = rng.uniform(1e-4, 1e-2, size=(m_sites, m_sites))
+    bt = rng.uniform(1e6, 1e8, size=(m_sites, m_sites))
+    cg = np.ones((n_ranks, n_ranks))
+    np.fill_diagonal(cg, 0)
+    caps = np.full(m_sites, n_ranks)
+    return MappingProblem(CG=cg, AG=cg.copy(), LT=lt, BT=bt, capacities=caps)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_simulation_deterministic_and_consistent(ranks, sites, iterations, seed):
+    rng = np.random.default_rng(seed)
+    problem = random_problem(ranks, sites, seed)
+    P = rng.integers(0, sites, size=ranks)
+    program = ring_program_factory(iterations, 10_000, 0.001)
+
+    a = Simulator(ranks, program, SimNetwork(problem, P)).run()
+    b = Simulator(ranks, program, SimNetwork(problem, P)).run()
+    np.testing.assert_array_equal(a.rank_times_s, b.rank_times_s)
+
+    # Conservation: every message accounted once.
+    assert a.total_messages == ranks * iterations
+    assert a.total_bytes == ranks * iterations * 10_000
+    # Time is non-negative and finite.
+    assert np.all(a.rank_times_s >= 0)
+    assert np.isfinite(a.makespan_s)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_comm_only_never_slower_than_full(ranks, seed):
+    problem = random_problem(ranks, 2, seed)
+    rng = np.random.default_rng(seed)
+    P = rng.integers(0, 2, size=ranks)
+    program = ring_program_factory(3, 50_000, 0.01)
+    full = Simulator(ranks, program, SimNetwork(problem, P)).run()
+    comm = Simulator(ranks, program, SimNetwork(problem, P), compute_scale=0.0).run()
+    assert comm.makespan_s <= full.makespan_s + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_contention_never_speeds_things_up(ranks, seed):
+    problem = random_problem(ranks, 2, seed)
+    rng = np.random.default_rng(seed)
+    P = rng.integers(0, 2, size=ranks)
+
+    def program(ctx):
+        yield from alltoall(ctx, 100_000)
+
+    with_c = Simulator(ranks, program, SimNetwork(problem, P, contention=True)).run()
+    without = Simulator(ranks, program, SimNetwork(problem, P, contention=False)).run()
+    assert with_c.makespan_s >= without.makespan_s - 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=3))
+def test_collectives_complete_on_any_size(ranks, iterations):
+    def program(ctx):
+        for _ in range(iterations):
+            yield from allreduce_ring(ctx, 1024)
+
+    res = Simulator(ranks, program, UniformNetwork()).run()
+    expected = 2 * (ranks - 1) * ranks * iterations if ranks > 1 else 0
+    assert res.total_messages == expected

@@ -1,0 +1,71 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_regions_command(capsys):
+    assert main(["regions", "--provider", "ec2"]) == 0
+    out = capsys.readouterr().out
+    assert "us-east-1" in out and "Singapore" in out
+
+
+def test_regions_azure(capsys):
+    assert main(["regions", "--provider", "azure"]) == 0
+    assert "west-europe" in capsys.readouterr().out
+
+
+def test_calibrate_command(capsys):
+    rc = main(
+        ["calibrate", "--regions", "us-east-1", "eu-west-1", "--nodes", "2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "LT: latency (ms)" in out
+    assert "BT: bandwidth (MB/s)" in out
+    assert "eu-west-1" in out
+
+
+def test_map_command(capsys):
+    rc = main(
+        [
+            "map",
+            "--app", "LU",
+            "--regions", "us-east-1", "eu-west-1",
+            "--nodes", "8",
+            "--mapper", "greedy",
+            "--constraint-ratio", "0.0",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mapped by greedy" in out
+    assert "assignment:" in out
+
+
+def test_compare_command(capsys):
+    rc = main(
+        [
+            "compare",
+            "--app", "DNN",
+            "--regions", "us-east-1", "ap-southeast-1",
+            "--nodes", "4",
+            "--constraint-ratio", "0.25",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("Baseline", "Greedy", "MPIPP", "Geo-distributed"):
+        assert name in out
+
+
+def test_unknown_mapper_fails():
+    with pytest.raises(KeyError):
+        main(["map", "--mapper", "nonsense", "--nodes", "2",
+              "--regions", "us-east-1"])
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

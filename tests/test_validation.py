@@ -1,0 +1,80 @@
+"""Unit tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_rng,
+    check_fraction,
+    check_matrix_pair,
+    check_nonnegative_int,
+    check_positive_int,
+    check_square_matrix,
+    check_vector,
+)
+
+
+def test_check_positive_int():
+    assert check_positive_int(3, "x") == 3
+    assert check_positive_int(np.int64(5), "x") == 5
+    with pytest.raises(ValueError):
+        check_positive_int(0, "x")
+    with pytest.raises(TypeError):
+        check_positive_int(1.5, "x")
+    with pytest.raises(TypeError):
+        check_positive_int(True, "x")
+
+
+def test_check_nonnegative_int():
+    assert check_nonnegative_int(0, "x") == 0
+    with pytest.raises(ValueError):
+        check_nonnegative_int(-1, "x")
+    with pytest.raises(TypeError):
+        check_nonnegative_int("2", "x")
+
+
+def test_check_fraction():
+    assert check_fraction(0.0, "x") == 0.0
+    assert check_fraction(1, "x") == 1.0
+    with pytest.raises(ValueError):
+        check_fraction(1.01, "x")
+    with pytest.raises(ValueError):
+        check_fraction(-0.1, "x")
+
+
+def test_check_square_matrix():
+    m = check_square_matrix([[1, 2], [3, 4]], "m")
+    assert m.dtype == np.float64
+    with pytest.raises(ValueError, match="square"):
+        check_square_matrix(np.zeros((2, 3)), "m")
+    with pytest.raises(ValueError, match="2x2"):
+        check_square_matrix(np.zeros((3, 3)), "m", size=2)
+    with pytest.raises(ValueError, match="negative"):
+        check_square_matrix([[-1.0]], "m")
+    check_square_matrix([[-1.0]], "m", nonnegative=False)
+    with pytest.raises(ValueError, match="non-finite"):
+        check_square_matrix([[np.nan]], "m")
+
+
+def test_check_matrix_pair():
+    check_matrix_pair(np.zeros((2, 2)), np.ones((2, 2)), "a", "b")
+    with pytest.raises(ValueError, match="same shape"):
+        check_matrix_pair(np.zeros((2, 2)), np.zeros((3, 3)), "a", "b")
+
+
+def test_check_vector():
+    v = check_vector([1, 2, 3], "v")
+    assert v.dtype == np.int64
+    with pytest.raises(ValueError, match="1-D"):
+        check_vector(np.zeros((2, 2)), "v")
+    with pytest.raises(ValueError, match="length 2"):
+        check_vector([1], "v", size=2)
+
+
+def test_as_rng():
+    rng = as_rng(0)
+    assert isinstance(rng, np.random.Generator)
+    assert as_rng(rng) is rng
+    a = as_rng(7).integers(1000)
+    b = as_rng(7).integers(1000)
+    assert a == b
