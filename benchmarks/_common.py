@@ -14,13 +14,63 @@ completes in minutes.
 
 from __future__ import annotations
 
+import json
 import os
+import statistics
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Machine-readable perf-regression baseline written by the bench_perf_*
+#: suite.  Schema: a JSON list of {"bench", "n", "m", "seconds", "cost"}.
+BENCH_PERF_JSON = Path(__file__).parent.parent / "BENCH_perf.json"
+
 #: True when the operator asked for paper-scale runs.
 FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+def median_time(fn, *, warmup: int = 1, repeats: int = 5):
+    """(median_seconds, last_result) of ``fn()`` on the monotonic clock.
+
+    The shared micro-timing helper for the perf benches: ``warmup`` calls
+    absorb one-time costs (BLAS thread spin-up, cache population), then
+    the median of ``repeats`` timed calls rejects scheduler outliers.
+    """
+    result = None
+    for _ in range(max(0, warmup)):
+        result = fn()
+    times = []
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), result
+
+
+def update_bench_json(records: list[dict], path: Path = BENCH_PERF_JSON) -> Path:
+    """Merge perf records into ``BENCH_perf.json``.
+
+    Records carrying the same ``(bench, n, m)`` key replace their previous
+    entries; everything else is preserved, so the core and geodist benches
+    can update the file independently.
+    """
+    existing: list[dict] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = []
+    replaced = {(r["bench"], r["n"], r["m"]) for r in records}
+    merged = [
+        r
+        for r in existing
+        if (r.get("bench"), r.get("n"), r.get("m")) not in replaced
+    ]
+    merged.extend(records)
+    merged.sort(key=lambda r: (str(r.get("bench")), r.get("n") or 0, r.get("m") or 0))
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+    return path
 
 
 def emit(name: str, text: str) -> str:

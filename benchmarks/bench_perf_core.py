@@ -1,0 +1,170 @@
+"""Perf bench: the vectorized cost kernels (aggregate / total_cost / batch_cost).
+
+Times the hot kernels of :mod:`repro.core.cost` and the vectorized Monte
+Carlo sampler across N in {64, 256, 1024} and appends machine-readable
+records to ``BENCH_perf.json`` (schema ``{bench, n, m, seconds, cost}``)
+so later PRs have a regression baseline.  Every kernel is cross-checked
+against a scalar reference before its timing is recorded.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_core.py [--quick]
+
+``--quick`` trims sizes and batch counts to a CI-smoke footprint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit, median_time, update_bench_json  # noqa: E402
+
+from repro.baselines import sample_assignments  # noqa: E402
+from repro.core import (  # noqa: E402
+    CostEvaluator,
+    MappingProblem,
+    aggregate_site_traffic,
+    total_cost,
+)
+
+
+def make_bench_problem(
+    n: int, m: int = 16, *, kappa: int = 4, seed: int = 0, sparse: bool = False
+) -> MappingProblem:
+    """Clustered synthetic problem: ``kappa`` geographic site clusters."""
+    rng = np.random.default_rng(seed)
+    per = m // kappa
+    centers = rng.uniform(-60.0, 60.0, size=(kappa, 2))
+    coords = np.concatenate(
+        [centers[i] + rng.normal(scale=2.0, size=(per, 2)) for i in range(kappa)]
+    )
+    cluster = np.repeat(np.arange(kappa), per)
+    same = cluster[:, None] == cluster[None, :]
+    lt = np.where(same, 0.001, 0.08 + rng.random((m, m)) * 0.1)
+    bt = np.where(same, 1e9, 2e7 + rng.random((m, m)) * 1e7)
+    np.fill_diagonal(lt, 0.0005)
+    np.fill_diagonal(bt, 5e9)
+    caps = np.full(m, -(-n // m) + 2)
+
+    if sparse:
+        density = min(1.0, 8.0 / n)
+        cg = sp.random(n, n, density=density, random_state=seed, format="csr") * 1e6
+        cg.setdiag(0.0)
+        cg.eliminate_zeros()
+        ag = cg.copy()
+        ag.data = np.ceil(ag.data / 1e5)
+    else:
+        cg = rng.random((n, n)) * 1e6
+        np.fill_diagonal(cg, 0.0)
+        ag = np.ceil(cg / 1e5)
+        np.fill_diagonal(ag, 0.0)
+    return MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps, coordinates=coords)
+
+
+def _reference_aggregate(problem: MappingProblem, P: np.ndarray):
+    """The seed implementation's np.add.at scatter, kept as the oracle."""
+    m = problem.num_sites
+    cg, ag = problem.dense_CG(), problem.dense_AG()
+    vol = np.zeros((m, m))
+    cnt = np.zeros((m, m))
+    np.add.at(vol, (P[:, None], P[None, :]), cg)
+    np.add.at(cnt, (P[:, None], P[None, :]), ag)
+    return vol, cnt
+
+
+def bench_aggregate(n: int, sparse: bool, quick: bool) -> dict:
+    problem = make_bench_problem(n, sparse=sparse)
+    rng = np.random.default_rng(1)
+    P = rng.integers(0, problem.num_sites, size=n)
+    if n <= 256:  # the scatter oracle is too slow beyond this
+        vol, cnt = aggregate_site_traffic(problem, P)
+        rvol, rcnt = _reference_aggregate(problem, P)
+        np.testing.assert_allclose(vol, rvol, rtol=1e-12)
+        np.testing.assert_allclose(cnt, rcnt, rtol=1e-12)
+    seconds, _ = median_time(
+        lambda: aggregate_site_traffic(problem, P),
+        warmup=1,
+        repeats=3 if quick else 7,
+    )
+    return {
+        "bench": f"aggregate_{'sparse' if sparse else 'dense'}",
+        "n": n,
+        "m": problem.num_sites,
+        "seconds": seconds,
+        "cost": total_cost(problem, P),
+    }
+
+
+def bench_batch_cost(n: int, sparse: bool, quick: bool) -> dict:
+    problem = make_bench_problem(n, sparse=sparse)
+    ev = CostEvaluator(problem)
+    rng = np.random.default_rng(2)
+    batch = 1000 if quick else (10_000 if n <= 256 else 1_000)
+    Ps = rng.integers(0, problem.num_sites, size=(batch, n))
+    costs = ev.batch_cost(Ps)
+    check = min(16, batch)
+    ref = np.array([total_cost(problem, Ps[k]) for k in range(check)])
+    np.testing.assert_allclose(costs[:check], ref, rtol=1e-9)
+    seconds, _ = median_time(
+        lambda: ev.batch_cost(Ps), warmup=1, repeats=2 if quick else 5
+    )
+    return {
+        "bench": f"batch_cost_{'sparse' if sparse else 'dense'}_{batch}",
+        "n": n,
+        "m": problem.num_sites,
+        "seconds": seconds,
+        "cost": float(costs[0]),
+    }
+
+
+def bench_sample_assignments(n: int, quick: bool) -> dict:
+    problem = make_bench_problem(n)
+    batch = 1000 if quick else 10_000
+    seconds, Ps = median_time(
+        lambda: sample_assignments(problem, batch, seed=3),
+        warmup=1,
+        repeats=2 if quick else 5,
+    )
+    return {
+        "bench": f"sample_assignments_{batch}",
+        "n": n,
+        "m": problem.num_sites,
+        "seconds": seconds,
+        "cost": total_cost(problem, Ps[0]),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: small sizes, few repeats"
+    )
+    args = parser.parse_args(argv)
+
+    sizes = (64, 256) if args.quick else (64, 256, 1024)
+    records = []
+    for n in sizes:
+        for sparse in (False, True):
+            records.append(bench_aggregate(n, sparse, args.quick))
+            records.append(bench_batch_cost(n, sparse, args.quick))
+        records.append(bench_sample_assignments(n, args.quick))
+
+    path = update_bench_json(records)
+    lines = ["bench                          n      m    seconds"]
+    for r in records:
+        lines.append(f"{r['bench']:<28} {r['n']:>5} {r['m']:>6} {r['seconds']:>10.6f}")
+    emit("bench_perf_core", "\n".join(lines))
+    print(f"[BENCH_perf.json updated at {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,10 +18,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import as_rng, check_positive_int
+from ..core.constraints import constrained_sites_available
 from ..core.cost import CostEvaluator
 from ..core.mapping import Mapper, register_mapper
-from ..core.problem import MappingProblem
-from .random_mapping import random_assignment
+from ..core.problem import UNCONSTRAINED, MappingProblem
 
 __all__ = [
     "MonteCarloResult",
@@ -34,18 +34,48 @@ __all__ = [
 ]
 
 
+#: Soft cap on random-key elements generated per sampling chunk.
+_SAMPLE_CHUNK_ELEMS = 1 << 21
+
+
 def sample_assignments(
     problem: MappingProblem,
     samples: int,
     *,
     seed: int | np.random.Generator | None = None,
 ) -> np.ndarray:
-    """(B, N) feasible random assignments (constraints and capacities held)."""
+    """(B, N) feasible random assignments (constraints and capacities held).
+
+    Vectorized: each sample ranks one row of uniform keys over the free
+    node slots (argsort of i.i.d. uniforms is a uniform permutation, whose
+    first ``k`` entries are a uniform ordered k-subset — the same
+    distribution as drawing slots without replacement one sample at a
+    time).  Rows are processed in memory-bounded chunks with no
+    per-sample Python loop.
+
+    RNG-stream note: this consumes exactly ``num_free_slots`` uniforms per
+    sample, regardless of chunking, so results depend only on ``seed`` and
+    the sample index — the first k samples of a larger batch equal a
+    standalone k-sample batch.  The stream differs from the pre-1.1
+    per-sample ``Generator.choice`` implementation, so draws are not
+    reproducible across that boundary (the distribution is unchanged).
+    """
     check_positive_int(samples, "samples")
     rng = as_rng(seed)
-    out = np.empty((samples, problem.num_processes), dtype=np.int64)
-    for b in range(samples):
-        out[b] = random_assignment(problem, rng)
+    n = problem.num_processes
+    out = np.empty((samples, n), dtype=np.int64)
+    out[:] = problem.constraints
+    free = np.flatnonzero(problem.constraints == UNCONSTRAINED)
+    if free.size == 0:
+        return out
+    remaining = constrained_sites_available(problem.constraints, problem.capacities)
+    slots = np.repeat(np.arange(problem.num_sites), remaining)
+    chunk = max(1, _SAMPLE_CHUNK_ELEMS // slots.size)
+    for start in range(0, samples, chunk):
+        c = min(chunk, samples - start)
+        keys = rng.random((c, slots.size))
+        order = np.argsort(keys, axis=1)[:, : free.size]
+        out[start : start + c][:, free] = slots[order]
     return out
 
 

@@ -37,6 +37,23 @@ def _check_assignment(P: np.ndarray, n: int, m: int) -> np.ndarray:
     return P.astype(np.int64, copy=False)
 
 
+def _site_indicator(P: np.ndarray, m: int) -> np.ndarray:
+    """(M, N) one-hot site-membership matrix: ``S[s, i] = 1`` iff P[i] == s.
+
+    Grouping by site becomes a BLAS matmul (``S @ CG @ S.T``) instead of an
+    unbuffered ``np.add.at`` scatter, which is what makes the dense cost
+    kernels fast.
+    """
+    S = np.zeros((m, P.shape[0]))
+    S[P, np.arange(P.shape[0])] = 1.0
+    return S
+
+
+def _bincount_pairs(rows: np.ndarray, cols: np.ndarray, data: np.ndarray, m: int) -> np.ndarray:
+    """Sum ``data`` into an (M, M) matrix indexed by flattened site pairs."""
+    return np.bincount(rows * m + cols, weights=data, minlength=m * m).reshape(m, m)
+
+
 def aggregate_site_traffic(problem: MappingProblem, P: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Aggregate CG and AG by site pair under mapping ``P``.
 
@@ -44,29 +61,26 @@ def aggregate_site_traffic(problem: MappingProblem, P: np.ndarray) -> tuple[np.n
     the total bytes flowing from processes on site k to processes on site
     l, and ``count`` the analogous message count.  This is the quantity
     the cost function contracts against LT and 1/BT.
+
+    Sparse problems sum the nnz edges with one ``np.bincount`` over
+    flattened site-pair codes; dense problems group rows and columns with
+    two one-hot matmuls.  Both avoid the unbuffered ``np.add.at`` scatter,
+    whose per-element ufunc dispatch dominated this kernel's runtime.
     """
     n, m = problem.num_processes, problem.num_sites
     P = _check_assignment(P, n, m)
     if problem.is_sparse:
-        cg: sp.csr_matrix = problem.CG.tocoo()
+        cg = problem.CG.tocoo()
         ag = problem.AG.tocoo()
-        vol = np.zeros((m, m))
-        cnt = np.zeros((m, m))
-        np.add.at(vol, (P[cg.row], P[cg.col]), cg.data)
-        np.add.at(cnt, (P[ag.row], P[ag.col]), ag.data)
+        vol = _bincount_pairs(P[cg.row], P[cg.col], cg.data, m)
+        cnt = _bincount_pairs(P[ag.row], P[ag.col], ag.data, m)
         return vol, cnt
-    # Dense path: group rows by site, then columns by site.  O(N^2) time,
-    # O(N*M) extra memory -- no (N, N) site-indexed intermediates.
-    cg = problem.CG
-    ag = problem.AG
-    rows_v = np.zeros((m, n))
-    rows_c = np.zeros((m, n))
-    np.add.at(rows_v, P, cg)
-    np.add.at(rows_c, P, ag)
-    vol = np.zeros((m, m))
-    cnt = np.zeros((m, m))
-    np.add.at(vol.T, P, rows_v.T)
-    np.add.at(cnt.T, P, rows_c.T)
+    # Dense path: S @ CG @ S.T with S the one-hot site indicator.
+    # O(N^2 * M) BLAS flops, O(N * M) extra memory -- no (N, N)
+    # site-indexed intermediates and no Python-level scatter.
+    S = _site_indicator(P, m)
+    vol = (S @ problem.CG) @ S.T
+    cnt = (S @ problem.AG) @ S.T
     return vol, cnt
 
 
@@ -112,6 +126,9 @@ class CostEvaluator:
         else:
             self._cg_rows = problem.CG
             self._ag_rows = problem.AG
+            # Flattened copies back the batched GEMV in batch_cost.
+            self._cg_flat = np.ascontiguousarray(problem.CG).ravel()
+            self._ag_flat = np.ascontiguousarray(problem.AG).ravel()
 
     # ------------------------------------------------------------------ full
 
@@ -119,12 +136,21 @@ class CostEvaluator:
         """Exact COST(P)."""
         return total_cost(self.problem, P)
 
+    #: Soft cap on gather-tensor elements per dense batch chunk (~16 MiB of
+    #: float64 per intermediate — measured ~4x faster than larger chunks by
+    #: keeping the gather cache-resident); chunks bound memory, not
+    #: vectorization.
+    _DENSE_CHUNK_ELEMS = 1 << 21
+
     def batch_cost(self, Ps: np.ndarray) -> np.ndarray:
         """Costs of a (B, N) batch of mappings.
 
-        Dense problems contract per-site aggregates; sparse problems
-        evaluate all nnz edges for the whole batch in one fancy-indexing
-        pass, which is what makes 10^6-sample Monte Carlo runs feasible.
+        Sparse problems evaluate all nnz edges for the whole batch in one
+        fancy-indexing pass.  Dense problems gather the per-pair LT / 1/BT
+        tables for a chunk of mappings at once and contract them against
+        the flattened comm matrices with one GEMV per chunk — no
+        Python-level per-mapping loop on either path, which is what makes
+        10^5-10^6-sample Monte Carlo runs feasible.
         """
         Ps = np.asarray(Ps)
         if Ps.ndim != 2 or Ps.shape[1] != self.problem.num_processes:
@@ -141,12 +167,40 @@ class CostEvaluator:
             dst = Ps[:, ag.col]
             out += (ag.data[None, :] * self._lt[src, dst]).sum(axis=1)
             return out
-        return np.array([total_cost(self.problem, p) for p in Ps])
+        return self._batch_cost_dense(Ps)
+
+    def _batch_cost_dense(self, Ps: np.ndarray) -> np.ndarray:
+        """Chunked fully-vectorized dense batch evaluation.
+
+        For a chunk of mappings the flattened site-pair codes
+        ``P[i] * M + P[j]`` index LT and 1/BT in one gather each; the cost
+        is then the dot product of each gathered (N*N,) table with the
+        flattened AG / CG — a (chunk, N^2) @ (N^2,) GEMV.
+        """
+        n, m = self.problem.num_processes, self.problem.num_sites
+        b = Ps.shape[0]
+        Ps = Ps.astype(np.int64, copy=False)
+        lt_flat = self._lt.ravel()
+        ibt_flat = self._inv_bt.ravel()
+        out = np.empty(b)
+        chunk = max(1, self._DENSE_CHUNK_ELEMS // max(1, n * n))
+        for start in range(0, b, chunk):
+            pc = Ps[start : start + chunk]
+            codes = pc[:, :, None] * m + pc[:, None, :]  # (c, N, N)
+            codes = codes.reshape(pc.shape[0], -1)
+            out[start : start + chunk] = lt_flat[codes] @ self._ag_flat
+            out[start : start + chunk] += ibt_flat[codes] @ self._cg_flat
+        return out
 
     # ----------------------------------------------------------- incremental
 
     def _rows_for(self, i: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """(cg_out, cg_in, ag_out, ag_in) dense rows for process i."""
+        """(cg_out, cg_in, ag_out, ag_in) dense rows for process i.
+
+        Every returned array is an owned copy — never a live view into the
+        problem's CG/AG — so callers may scale or zero them freely without
+        corrupting the (frozen) problem matrices.
+        """
         if self.problem.is_sparse:
             cg_out = self._cg_rows.getrow(i).toarray().ravel()
             cg_in = self._cg_cols.getcol(i).toarray().ravel()
@@ -154,10 +208,10 @@ class CostEvaluator:
             ag_in = self._ag_cols.getcol(i).toarray().ravel()
             return cg_out, cg_in, ag_out, ag_in
         return (
-            self._cg_rows[i, :],
-            self._cg_rows[:, i],
-            self._ag_rows[i, :],
-            self._ag_rows[:, i],
+            self._cg_rows[i, :].copy(),
+            self._cg_rows[:, i].copy(),
+            self._ag_rows[i, :].copy(),
+            self._ag_rows[:, i].copy(),
         )
 
     def move_delta(self, P: np.ndarray, i: int, new_site: int) -> float:

@@ -14,7 +14,10 @@ Algorithm 1, faithfully:
 
 Complexity O(kappa! * N^2); with the default kappa <= 4 the kappa! factor
 is a small constant, matching the Greedy baseline's O(N^2) as the paper
-argues.
+argues.  This implementation additionally memoizes the greedy state
+shared by permutations with a common group-order prefix (the enumeration
+is lexicographic, so the cache is a simple stack), which removes most of
+the kappa! redundancy in practice while producing bit-identical results.
 
 For deployments whose groups contain many sites, the *grouping
 optimization* applies the same algorithm recursively: first map processes
@@ -24,7 +27,8 @@ sub-problem independently (Section 4.2, "Grouping Optimization").
 
 from __future__ import annotations
 
-from itertools import permutations
+from concurrent.futures import ThreadPoolExecutor
+from itertools import islice, permutations
 from typing import Sequence
 
 import numpy as np
@@ -59,6 +63,132 @@ def _affinity_row(sym, proc: int) -> np.ndarray:
     return sym[proc, :]
 
 
+def _affinity_rows_sum(sym, procs: np.ndarray) -> np.ndarray:
+    """Summed affinity rows of ``procs`` in one row-slice + reduction.
+
+    Replaces the seed implementation's per-resident ``_affinity_row``
+    accumulation loop when a site is (re)opened.
+    """
+    if sp.issparse(sym):
+        return np.asarray(sym[procs].sum(axis=0)).ravel()
+    return sym[procs].sum(axis=0)
+
+
+class _FillState:
+    """Mutable snapshot of a partially built greedy placement.
+
+    Snapshots are what the shared-prefix memoization caches: permutations
+    of the group order that agree on their first d groups produce
+    byte-identical state after those d groups, so the fill for a new
+    permutation resumes from the deepest cached prefix instead of
+    replaying the whole greedy walk.
+
+    ``masked_q`` is the communication-quantity vector with already-placed
+    processes forced to -inf, so the "heaviest unselected process" seed
+    pick is a plain ``argmax`` with no per-step ``np.where`` rebuild.
+    """
+
+    __slots__ = ("P", "selected", "avail", "site_done", "num_placed", "masked_q")
+
+    def __init__(
+        self,
+        P: np.ndarray,
+        selected: np.ndarray,
+        avail: np.ndarray,
+        site_done: np.ndarray,
+        num_placed: int,
+        masked_q: np.ndarray,
+    ) -> None:
+        self.P = P
+        self.selected = selected
+        self.avail = avail
+        self.site_done = site_done
+        self.num_placed = num_placed
+        self.masked_q = masked_q
+
+    def clone(self) -> "_FillState":
+        return _FillState(
+            self.P.copy(),
+            self.selected.copy(),
+            self.avail.copy(),
+            self.site_done.copy(),
+            self.num_placed,
+            self.masked_q.copy(),
+        )
+
+
+def _initial_state(problem: MappingProblem, quantity: np.ndarray) -> _FillState:
+    """Lines 3-6 of Algorithm 1: pin constraints and debit capacities."""
+    P = problem.constraints.copy()
+    selected = P != UNCONSTRAINED
+    avail = constrained_sites_available(problem.constraints, problem.capacities).copy()
+    site_done = avail == 0
+    num_placed = int(selected.sum())
+    masked_q = np.where(selected, -np.inf, quantity)
+    return _FillState(P, selected, avail, site_done, num_placed, masked_q)
+
+
+def _fill_group(state: _FillState, group: SiteGroup, sym, n: int) -> None:
+    """Lines 7-15 of Algorithm 1 for one group, mutating ``state`` in place.
+
+    The masked affinity vector ``masked_w`` is maintained incrementally:
+    selecting a process sets its entry to -inf (which further row
+    additions cannot revive), so each placement is one ``argmax`` plus one
+    in-place row addition instead of a fresh ``np.where`` allocation.
+    """
+    P = state.P
+    selected = state.selected
+    avail = state.avail
+    site_done = state.site_done
+    masked_q = state.masked_q
+    neg_inf = -np.inf
+
+    group_sites_arr = np.asarray(group.sites, dtype=np.int64)
+    for _ in range(group_sites_arr.shape[0]):
+        if state.num_placed == n:
+            break
+        # Unselected site in this group with the most available nodes.
+        open_mask = ~site_done[group_sites_arr]
+        if not np.any(open_mask):
+            break
+        open_sites = group_sites_arr[open_mask]
+        site = int(open_sites[np.argmax(avail[open_sites])])
+
+        slots = int(avail[site])
+        if slots > 0:
+            # Seed: globally heaviest unselected process.
+            t0 = int(np.argmax(masked_q))
+            P[t0] = site
+            selected[t0] = True
+            masked_q[t0] = neg_inf
+            avail[site] -= 1
+            state.num_placed += 1
+
+            # Affinity to everything already on this site, including
+            # processes pinned there by constraints, in one batched sum.
+            residents = np.flatnonzero(P == site)
+            w = _affinity_rows_sum(sym, residents)
+            masked_w = np.where(selected, neg_inf, w)
+
+            for _ in range(slots - 1):
+                if state.num_placed == n:
+                    break
+                t = int(np.argmax(masked_w))
+                # Tie-break pure zeros by communication quantity so
+                # isolated processes still place deterministically.
+                if masked_w[t] <= 0.0:
+                    t = int(np.argmax(masked_q))
+                P[t] = site
+                selected[t] = True
+                masked_q[t] = neg_inf
+                masked_w[t] = neg_inf
+                avail[site] -= 1
+                state.num_placed += 1
+                masked_w += _affinity_row(sym, t)
+
+        site_done[site] = True
+
+
 class GeoDistributedMapper(Mapper):
     """The paper's proposed algorithm.
 
@@ -83,6 +213,21 @@ class GeoDistributedMapper(Mapper):
         motivates.
     recursion_limit:
         Largest group size the flat algorithm handles directly.
+    memoize:
+        Enable shared-prefix memoization across the kappa! group orders.
+        Permutations are enumerated lexicographically, so consecutive
+        orders share long prefixes; the fill state after each prefix is
+        cached on a stack (a trie walk along the enumeration) and each
+        order resumes from the deepest cached prefix, cutting redundant
+        greedy work from O(kappa! * N^2) toward O(kappa! * N^2 / kappa).
+        The result is bit-identical to the unmemoized walk; the flag
+        exists for A/B equivalence testing and benchmarking.
+    workers:
+        Evaluate independent group orders in ``workers`` threads (each
+        worker memoizes within its contiguous chunk of the enumeration).
+        ``None`` or 1 stays sequential.  Results are tie-broken by
+        enumeration index, so the chosen mapping is identical to the
+        sequential one.  Useful when kappa! is large (kappa >= 5).
     """
 
     name = "geo-distributed"
@@ -95,6 +240,8 @@ class GeoDistributedMapper(Mapper):
         max_orders: int | None = None,
         recursive: bool = True,
         recursion_limit: int = 8,
+        memoize: bool = True,
+        workers: int | None = None,
     ) -> None:
         self.kappa = check_positive_int(kappa, "kappa")
         self.grouping_seed = grouping_seed
@@ -103,6 +250,10 @@ class GeoDistributedMapper(Mapper):
         self.max_orders = max_orders
         self.recursive = bool(recursive)
         self.recursion_limit = check_positive_int(recursion_limit, "recursion_limit")
+        self.memoize = bool(memoize)
+        if workers is not None:
+            check_positive_int(workers, "workers")
+        self.workers = workers
 
     # ----------------------------------------------------------------- solve
 
@@ -128,95 +279,87 @@ class GeoDistributedMapper(Mapper):
     def _solve_flat(
         self, problem: MappingProblem, groups: Sequence[SiteGroup]
     ) -> np.ndarray:
-        n = problem.num_processes
         quantity = problem.communication_quantity()
         sym = _symmetric_traffic(problem)
 
-        best_P: np.ndarray | None = None
-        best_cost = np.inf
         orders = permutations(range(len(groups)))
-        for count, order in enumerate(orders):
-            if self.max_orders is not None and count >= self.max_orders:
-                break
-            P = self._greedy_fill(problem, [groups[g] for g in order], quantity, sym)
-            cost = total_cost(problem, P)
-            if cost < best_cost:
-                best_cost = cost
-                best_P = P
+        if self.max_orders is not None:
+            orders = islice(orders, self.max_orders)
+        indexed = list(enumerate(orders))
+
+        workers = self.workers or 1
+        if workers > 1 and len(indexed) > 1:
+            k = min(workers, len(indexed))
+            size = -(-len(indexed) // k)  # ceil division, contiguous chunks
+            chunks = [indexed[i * size : (i + 1) * size] for i in range(k)]
+            chunks = [c for c in chunks if c]
+            with ThreadPoolExecutor(max_workers=len(chunks)) as ex:
+                results = list(
+                    ex.map(
+                        lambda ch: self._evaluate_orders(
+                            problem, groups, ch, quantity, sym
+                        ),
+                        chunks,
+                    )
+                )
+            # Tie-break equal costs by enumeration index: identical to the
+            # sequential first-best-wins scan.
+            best_cost, best_idx, best_P = min(results, key=lambda r: (r[0], r[1]))
+        else:
+            best_cost, best_idx, best_P = self._evaluate_orders(
+                problem, groups, indexed, quantity, sym
+            )
         assert best_P is not None  # at least one order always runs
         return best_P
 
-    def _greedy_fill(
+    def _evaluate_orders(
         self,
         problem: MappingProblem,
-        ordered_groups: Sequence[SiteGroup],
+        groups: Sequence[SiteGroup],
+        indexed_orders: Sequence[tuple[int, tuple[int, ...]]],
         quantity: np.ndarray,
         sym,
-    ) -> np.ndarray:
-        """Lines 3-15 of Algorithm 1 for one fixed group order."""
-        n, m = problem.num_processes, problem.num_sites
+    ) -> tuple[float, int, np.ndarray | None]:
+        """Greedy-fill and cost every (index, order); return the best triple.
 
-        P = problem.constraints.copy()
-        selected = P != UNCONSTRAINED
-        avail = constrained_sites_available(problem.constraints, problem.capacities).copy()
-        site_done = avail == 0
+        ``states[d]`` holds the fill state after the first ``d`` groups of
+        the most recently processed order.  Because the enumeration is
+        lexicographic, the next order's longest shared prefix is always a
+        stack prefix, so memoization is a truncate + extend — no explicit
+        trie nodes needed.
+        """
+        n = problem.num_processes
+        states: list[_FillState] = [_initial_state(problem, quantity)]
+        prev: tuple[int, ...] = ()
+        best_cost = np.inf
+        best_idx = -1
+        best_P: np.ndarray | None = None
 
-        num_placed = int(selected.sum())
-        neg_inf = -np.inf
-
-        for group in ordered_groups:
-            if num_placed == n:
-                break
-            group_sites_arr = np.array(group.sites, dtype=np.int64)
-            for _ in range(len(group_sites_arr)):
-                if num_placed == n:
-                    break
-                # Unselected site in this group with the most available nodes.
-                open_mask = ~site_done[group_sites_arr]
-                if not np.any(open_mask):
-                    break
-                open_sites = group_sites_arr[open_mask]
-                site = int(open_sites[np.argmax(avail[open_sites])])
-
-                slots = int(avail[site])
-                if slots > 0:
-                    # Seed: globally heaviest unselected process.
-                    masked_q = np.where(selected, neg_inf, quantity)
-                    t0 = int(np.argmax(masked_q))
-                    P[t0] = site
-                    selected[t0] = True
-                    avail[site] -= 1
-                    num_placed += 1
-
-                    # Affinity to everything already on this site,
-                    # including processes pinned there by constraints.
-                    w = np.zeros(n)
-                    residents = np.flatnonzero(P == site)
-                    for res in residents:
-                        w += _affinity_row(sym, int(res))
-
-                    for _ in range(slots - 1):
-                        if num_placed == n:
-                            break
-                        masked_w = np.where(selected, neg_inf, w)
-                        t = int(np.argmax(masked_w))
-                        # Tie-break pure zeros by communication quantity so
-                        # isolated processes still place deterministically.
-                        if masked_w[t] <= 0.0:
-                            t = int(np.argmax(np.where(selected, neg_inf, quantity)))
-                        P[t] = site
-                        selected[t] = True
-                        avail[site] -= 1
-                        num_placed += 1
-                        w += _affinity_row(sym, t)
-
-                site_done[site] = True
-        if num_placed != n:
-            raise RuntimeError(
-                "greedy fill left processes unplaced; this indicates an "
-                "infeasible problem slipped past validation"
-            )
-        return P
+        for idx, order in indexed_orders:
+            if self.memoize:
+                d = 0
+                while d < len(prev) and prev[d] == order[d]:
+                    d += 1
+            else:
+                d = 0
+            del states[d + 1 :]
+            for g in order[d:]:
+                st = states[-1].clone()
+                _fill_group(st, groups[g], sym, n)
+                states.append(st)
+            final = states[-1]
+            if final.num_placed != n:
+                raise RuntimeError(
+                    "greedy fill left processes unplaced; this indicates an "
+                    "infeasible problem slipped past validation"
+                )
+            cost = total_cost(problem, final.P)
+            if cost < best_cost:
+                best_cost = cost
+                best_idx = idx
+                best_P = final.P.copy()
+            prev = order
+        return best_cost, best_idx, best_P
 
     # ---------------------------------------------------------- recursive mode
 

@@ -1,0 +1,124 @@
+"""Property tests for the vectorized cost kernels.
+
+Pins the perf-layer rewrite (bincount / one-hot aggregation, chunked
+dense batch evaluation, copying ``_rows_for``) to the scalar semantics it
+must preserve.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import CostEvaluator, MappingProblem, aggregate_site_traffic, total_cost
+from tests.conftest import make_problem
+
+
+def _sparsify(p: MappingProblem) -> MappingProblem:
+    return MappingProblem(
+        CG=sp.csr_matrix(p.CG),
+        AG=sp.csr_matrix(p.AG),
+        LT=p.LT,
+        BT=p.BT,
+        capacities=p.capacities,
+        constraints=p.constraints,
+        coordinates=p.coordinates,
+    )
+
+
+def _naive_aggregate(problem: MappingProblem, P: np.ndarray):
+    """O(N^2) Python-loop oracle for the site-pair aggregation."""
+    m = problem.num_sites
+    cg, ag = problem.dense_CG(), problem.dense_AG()
+    vol = np.zeros((m, m))
+    cnt = np.zeros((m, m))
+    for i in range(problem.num_processes):
+        for j in range(problem.num_processes):
+            vol[P[i], P[j]] += cg[i, j]
+            cnt[P[i], P[j]] += ag[i, j]
+    return vol, cnt
+
+
+@pytest.mark.parametrize("sparse_input", [False, True])
+def test_aggregate_matches_naive_loop(topo4, sparse_input):
+    p = make_problem(12, topo4, seed=21)
+    if sparse_input:
+        p = _sparsify(p)
+    rng = np.random.default_rng(0)
+    for _ in range(4):
+        P = rng.integers(0, p.num_sites, size=12)
+        vol, cnt = aggregate_site_traffic(p, P)
+        rvol, rcnt = _naive_aggregate(p, P)
+        np.testing.assert_allclose(vol, rvol, rtol=1e-12)
+        np.testing.assert_allclose(cnt, rcnt, rtol=1e-12)
+
+
+@pytest.mark.parametrize("sparse_input", [False, True])
+@pytest.mark.parametrize("constraint_ratio", [0.0, 0.3])
+def test_batch_cost_equals_scalar_costs(topo4, sparse_input, constraint_ratio):
+    """batch_cost(Ps) == [total_cost(p) for p in Ps] within 1e-9 relative."""
+    p = make_problem(32, topo4, seed=22, constraint_ratio=constraint_ratio)
+    if sparse_input:
+        p = _sparsify(p)
+    ev = CostEvaluator(p)
+    rng = np.random.default_rng(1)
+    Ps = rng.integers(0, p.num_sites, size=(64, 32))
+    batch = ev.batch_cost(Ps)
+    scalar = np.array([total_cost(p, q) for q in Ps])
+    np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+
+
+def test_batch_cost_dense_spans_chunks(topo4):
+    """Batches larger than one gather chunk still evaluate correctly."""
+    p = make_problem(48, topo4, seed=23)
+    ev = CostEvaluator(p)
+    old_chunk = CostEvaluator._DENSE_CHUNK_ELEMS
+    try:
+        # Force ~5 chunks for a 10-mapping batch.
+        CostEvaluator._DENSE_CHUNK_ELEMS = 2 * 48 * 48
+        rng = np.random.default_rng(2)
+        Ps = rng.integers(0, p.num_sites, size=(10, 48))
+        chunked = ev.batch_cost(Ps)
+    finally:
+        CostEvaluator._DENSE_CHUNK_ELEMS = old_chunk
+    np.testing.assert_allclose(chunked, ev.batch_cost(Ps), rtol=1e-12)
+
+
+def test_batch_cost_single_mapping(topo4):
+    p = make_problem(16, topo4, seed=24)
+    ev = CostEvaluator(p)
+    P = np.zeros((1, 16), dtype=np.int64)
+    assert ev.batch_cost(P)[0] == pytest.approx(total_cost(p, P[0]))
+
+
+@pytest.mark.parametrize("sparse_input", [False, True])
+def test_rows_for_returns_owned_copies(topo4, sparse_input):
+    """Regression: mutating a returned row must not corrupt CG/AG or
+    subsequent delta evaluations (the dense path used to return views)."""
+    p = make_problem(16, topo4, seed=25)
+    if sparse_input:
+        p = _sparsify(p)
+    ev = CostEvaluator(p)
+    P = np.random.default_rng(3).integers(0, p.num_sites, size=16)
+    before = ev.move_delta(P, 2, 1)
+    rows = ev._rows_for(2)
+    for r in rows:
+        r[:] = -1.0  # must be writeable and isolated
+    assert ev.move_delta(P, 2, 1) == pytest.approx(before)
+    np.testing.assert_array_equal(p.dense_CG()[2, :] == -1.0, np.zeros(16, bool))
+
+
+def test_aggregate_empty_sparse_matrix(topo4):
+    """All-zero sparse comm matrices aggregate to zero without errors."""
+    n = 8
+    empty = sp.csr_matrix((n, n))
+    p = MappingProblem(
+        CG=empty,
+        AG=empty.copy(),
+        LT=make_problem(n, topo4, seed=26).LT,
+        BT=make_problem(n, topo4, seed=26).BT,
+        capacities=make_problem(n, topo4, seed=26).capacities,
+    )
+    vol, cnt = aggregate_site_traffic(p, np.zeros(n, dtype=np.int64))
+    assert vol.shape == (p.num_sites, p.num_sites)
+    assert vol.sum() == 0.0 and cnt.sum() == 0.0
+    assert total_cost(p, np.zeros(n, dtype=np.int64)) == 0.0
