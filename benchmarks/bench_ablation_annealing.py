@@ -8,8 +8,6 @@ annealed cost at a tiny fraction of its wall time — the quantified
 version of the paper's "near optimal solutions with low overhead".
 """
 
-import numpy as np
-
 from repro.baselines import SimulatedAnnealingMapper
 from repro.core import GeoDistributedMapper
 from repro.exp import format_table, improvement_pct, paper_ec2_scenario

@@ -11,8 +11,6 @@ The grouped run must be drastically cheaper while giving up little cost,
 which is exactly the paper's argument for the optimization.
 """
 
-import numpy as np
-
 from repro.apps import LUApp
 from repro.cloud import CloudTopology
 from repro.core import GeoDistributedMapper

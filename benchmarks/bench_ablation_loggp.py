@@ -14,7 +14,7 @@ measures both halves of that claim:
 import numpy as np
 from scipy.stats import spearmanr
 
-from repro.baselines import RandomMapper, sample_assignments
+from repro.baselines import sample_assignments
 from repro.cloud import PingpongCalibrator, paper_topology
 from repro.core import GeoDistributedMapper, calibrate_loggp, total_cost
 from repro.exp import build_problem, format_table

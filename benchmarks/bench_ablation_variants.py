@@ -12,10 +12,8 @@ This bench quantifies each choice on the paper scenario so the
 deviations called out in EXPERIMENTS.md carry numbers.
 """
 
-import numpy as np
-
 from repro.baselines import GreedyMapper, MPIPPMapper
-from repro.exp import format_table, improvement_pct, paper_ec2_scenario
+from repro.exp import format_table, paper_ec2_scenario
 
 from _common import emit
 

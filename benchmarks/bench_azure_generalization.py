@@ -9,8 +9,6 @@ Geo-distributed still leads on the communication cost for a local and a
 complex workload.
 """
 
-import numpy as np
-
 from repro.apps import KMeansApp, LUApp
 from repro.cloud import CloudTopology
 from repro.exp import (

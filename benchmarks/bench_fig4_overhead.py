@@ -7,10 +7,6 @@ callouts: Geo's absolute overhead stays under a minute at 4/64, and at
 one site Geo degenerates to a Greedy-like single pass.
 """
 
-import time
-
-import numpy as np
-
 from repro.apps import LUApp
 from repro.cloud import CloudTopology
 from repro.cloud.regions import PAPER_EC2_REGIONS

@@ -21,7 +21,6 @@ from itertools import permutations
 from pathlib import Path
 
 import numpy as np
-import scipy.sparse as sp
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -3,14 +3,16 @@
 Every public entry point in :mod:`repro` validates its inputs eagerly and
 raises :class:`ValueError` / :class:`TypeError` with a message naming the
 offending argument.  Centralizing the checks keeps the error messages
-uniform and the call sites one-liners.
+uniform and the call sites one-liners.  ``repro-lint`` (rule RPR003)
+enforces that entry points actually route through these helpers.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "check_positive_int",
@@ -19,11 +21,12 @@ __all__ = [
     "check_square_matrix",
     "check_matrix_pair",
     "check_vector",
+    "check_probability_vector",
     "as_rng",
 ]
 
 
-def check_positive_int(value: int, name: str) -> int:
+def check_positive_int(value: int | np.integer[Any], name: str) -> int:
     """Return ``value`` if it is a positive integer, else raise.
 
     Accepts numpy integer scalars as well as Python ints; rejects bools.
@@ -35,7 +38,7 @@ def check_positive_int(value: int, name: str) -> int:
     return int(value)
 
 
-def check_nonnegative_int(value: int, name: str) -> int:
+def check_nonnegative_int(value: int | np.integer[Any], name: str) -> int:
     """Return ``value`` if it is a non-negative integer, else raise."""
     if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
         raise TypeError(f"{name} must be an int, got {type(value).__name__}")
@@ -53,12 +56,12 @@ def check_fraction(value: float, name: str) -> float:
 
 
 def check_square_matrix(
-    matrix: np.ndarray,
+    matrix: npt.ArrayLike,
     name: str,
     *,
     size: int | None = None,
     nonnegative: bool = True,
-) -> np.ndarray:
+) -> npt.NDArray[np.float64]:
     """Validate a 2-D square float matrix and return it as ``float64``.
 
     Parameters
@@ -84,7 +87,9 @@ def check_square_matrix(
     return arr
 
 
-def check_matrix_pair(a: np.ndarray, b: np.ndarray, name_a: str, name_b: str) -> None:
+def check_matrix_pair(
+    a: npt.ArrayLike, b: npt.ArrayLike, name_a: str, name_b: str
+) -> None:
     """Require that two matrices share the same shape."""
     if np.asarray(a).shape != np.asarray(b).shape:
         raise ValueError(
@@ -94,18 +99,73 @@ def check_matrix_pair(a: np.ndarray, b: np.ndarray, name_a: str, name_b: str) ->
 
 
 def check_vector(
-    vec: Sequence[int] | np.ndarray,
+    vec: Sequence[int] | Sequence[float] | npt.NDArray[Any],
     name: str,
     *,
     size: int | None = None,
-    dtype=np.int64,
-) -> np.ndarray:
-    """Validate a 1-D vector and return it with the requested dtype."""
-    arr = np.asarray(vec, dtype=dtype)
+    dtype: npt.DTypeLike = np.int64,
+) -> npt.NDArray[Any]:
+    """Validate a 1-D vector and return it with the requested dtype.
+
+    Casting to an integer dtype is *checked*: float input with fractional
+    parts (e.g. capacities ``[2.7, 3.9]``) raises instead of silently
+    truncating to ``[2, 3]``, and boolean arrays are rejected outright
+    (they are almost always a mask passed by mistake).
+    """
+    raw = np.asarray(vec)
+    if raw.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {raw.shape}")
+    if size is not None and raw.shape[0] != size:
+        raise ValueError(f"{name} must have length {size}, got {raw.shape[0]}")
+    if raw.dtype == np.bool_:
+        raise TypeError(f"{name} must be numeric, got a boolean array")
+    target = np.dtype(dtype)
+    if target.kind in "iu" and raw.dtype.kind not in "iu":
+        as_float = np.asarray(raw, dtype=np.float64)
+        if not np.all(np.isfinite(as_float)):
+            raise ValueError(f"{name} contains non-finite entries")
+        if np.any(as_float != np.trunc(as_float)):
+            bad = np.flatnonzero(as_float != np.trunc(as_float))
+            raise ValueError(
+                f"{name} must contain integral values; found non-integral "
+                f"entries at indices {bad[:10].tolist()} "
+                f"(e.g. {name}[{bad[0]}] = {as_float[bad[0]]})"
+            )
+    return np.asarray(raw, dtype=target)
+
+
+def check_probability_vector(
+    vec: Sequence[float] | npt.NDArray[Any],
+    name: str,
+    *,
+    size: int | None = None,
+    normalize: bool = False,
+) -> npt.NDArray[np.float64]:
+    """Validate a 1-D probability vector (finite, >= 0, summing to 1).
+
+    With ``normalize=True`` any non-negative vector with a positive sum is
+    accepted and rescaled to sum to 1 — the convenient form for weight
+    arguments (e.g. the Monte Carlo sampler's site weights).  Without it,
+    the sum must already be 1 within a small tolerance.
+    """
+    arr = np.asarray(vec, dtype=np.float64)
     if arr.ndim != 1:
         raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
     if size is not None and arr.shape[0] != size:
         raise ValueError(f"{name} must have length {size}, got {arr.shape[0]}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if np.any(arr < 0):
+        raise ValueError(f"{name} contains negative entries")
+    total = float(arr.sum())
+    if normalize:
+        if total <= 0.0:
+            raise ValueError(f"{name} must have a positive sum to normalize, got {total}")
+        return arr / total
+    if not np.isclose(total, 1.0, rtol=0.0, atol=1e-9):
+        raise ValueError(f"{name} must sum to 1, got {total}")
     return arr
 
 

@@ -1,0 +1,41 @@
+"""Domain-aware static analysis for the repro mapping stack.
+
+``repro-lint`` (also ``python -m repro.analysis``) runs one AST pass
+with pluggable :class:`~repro.analysis.rules.Rule` objects over the
+library and benchmark sources, enforcing the invariants the fast paths
+rely on:
+
+=======  ======================  ================================================
+Rule     Name                    Contract enforced
+=======  ======================  ================================================
+RPR001   no-legacy-rng           randomness flows through ``_validation.as_rng``
+RPR002   no-frozen-views         no returned/stored views of CG/AG/LT/BT
+RPR003   validate-public-entry   entry points validate arrays via ``_validation``
+RPR004   no-bare-assert          no ``-O``-strippable invariant checks in src/
+RPR005   no-wall-clock           benchmarks time with ``perf_counter`` only
+=======  ======================  ================================================
+
+Findings can be silenced inline (``# repro-lint: disable=RPR003``) or
+grandfathered in the checked-in ``.repro-lint-baseline.json``; anything
+else fails the run (and CI).
+"""
+
+from __future__ import annotations
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import LintResult, lint_file, lint_paths, lint_source
+from .findings import Finding
+from .rules import ALL_RULES, Rule, default_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "default_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

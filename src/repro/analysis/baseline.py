@@ -1,0 +1,96 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the lint gate ship *today* while the long tail of
+pre-existing findings is burned down incrementally: a finding whose
+fingerprint appears in the baseline is reported as *baselined* and does
+not fail the run, but any new finding does.  Fingerprints hash the rule,
+file, enclosing symbol, and source text — not the line number — so
+unrelated edits do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: Conventional baseline filename at the repository root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Set of grandfathered finding fingerprints, grouped by rule."""
+
+    #: rule id -> fingerprint -> human-readable context (for reviewers).
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable baseline file {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise ValueError(
+                f"baseline file {path} has unsupported format; regenerate with "
+                "--write-baseline"
+            )
+        raw = payload.get("findings", {})
+        entries: dict[str, dict[str, str]] = {}
+        if isinstance(raw, dict):
+            for rule_id, fps in raw.items():
+                if isinstance(fps, dict):
+                    entries[str(rule_id)] = {str(k): str(v) for k, v in fps.items()}
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Build a baseline that grandfathers exactly ``findings``."""
+        entries: dict[str, dict[str, str]] = {}
+        for f in sorted(findings):
+            entries.setdefault(f.rule_id, {})[f.fingerprint] = (
+                f"{f.path}:{f.symbol or '<module>'}: {f.snippet}"
+            )
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline with stable key order (diff-friendly)."""
+        payload = {
+            "version": _VERSION,
+            "comment": (
+                "Grandfathered repro-lint findings. Remove entries as they are "
+                "fixed; never add entries by hand - use --write-baseline."
+            ),
+            "findings": {
+                rule_id: dict(sorted(fps.items()))
+                for rule_id, fps in sorted(self.entries.items())
+            },
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    def contains(self, finding: Finding) -> bool:
+        """True when ``finding`` is grandfathered."""
+        return finding.fingerprint in self.entries.get(finding.rule_id, {})
+
+    def partition(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (new, baselined)."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in findings:
+            (old if self.contains(f) else new).append(f)
+        return new, old
+
+    @property
+    def size(self) -> int:
+        """Total number of grandfathered fingerprints."""
+        return sum(len(fps) for fps in self.entries.values())

@@ -1,0 +1,125 @@
+"""Command-line front end: ``repro-lint`` / ``python -m repro.analysis``.
+
+Exit codes: 0 clean (or everything baselined/suppressed), 1 new findings
+or unparsable files, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import lint_paths
+from .rules import ALL_RULES, default_rules
+from .reporters import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain-aware static analysis for the repro mapping stack "
+            "(rules RPR001-RPR005)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules(stream: IO[str]) -> None:
+    for cls in ALL_RULES:
+        stream.write(f"{cls.id}  {cls.name}\n    {cls.rationale}\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out: IO[str] = sys.stdout
+
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+
+    try:
+        rules = default_rules(args.select.split(",")) if args.select else default_rules()
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(map(str, missing))}")
+
+    result = lint_paths(paths, rules=rules)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        out.write(
+            f"repro-lint: wrote baseline with {len(result.findings)} finding(s) "
+            f"to {baseline_path}\n"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            out.write(f"repro-lint: {exc}\n")
+            return 2
+
+    new, baselined = baseline.partition(result.findings)
+    if args.format == "json":
+        render_json(result, new, baselined, out)
+    else:
+        render_text(result, new, baselined, out)
+    return 1 if new or result.errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""The single-pass lint engine.
+
+File discovery, parsing, and one recursive AST visit per file; rules are
+dispatched by node type from a table built once per file (so a rule that
+does not apply to a file costs nothing there).  Scope tracking for
+symbol names lives here, not in the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .context import FileContext, parse_suppressions
+from .findings import Finding
+from .rules import Rule, default_rules
+
+__all__ = ["LintResult", "lint_paths", "lint_file", "lint_source"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({".git", "__pycache__", ".venv", "node_modules", "build", "dist"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    #: path -> error message for files that failed to parse.
+    errors: dict[str, str] = field(default_factory=dict)
+
+    def extend(self, other: "LintResult") -> None:
+        """Merge another result into this one."""
+        self.findings.extend(other.findings)
+        self.suppressed += other.suppressed
+        self.files_scanned += other.files_scanned
+        self.errors.update(other.errors)
+
+
+class _Visitor:
+    """One recursive pass dispatching nodes to interested rules."""
+
+    def __init__(self, ctx: FileContext, rules: Sequence[Rule]) -> None:
+        self.ctx = ctx
+        self.result = LintResult(files_scanned=1)
+        # Dispatch table: node type -> rules wanting it (built per file so a
+        # rule skipped by applies_to() costs nothing during the walk).
+        self.table: dict[type[ast.AST], list[Rule]] = {}
+        for rule in rules:
+            if not rule.applies_to(ctx):
+                continue
+            for node_type in rule.node_types:
+                self.table.setdefault(node_type, []).append(rule)
+
+    def run(self) -> LintResult:
+        self.ctx.collect_imports()
+        self._visit(self.ctx.tree)
+        self.result.findings.sort()
+        return self.result
+
+    def _dispatch(self, node: ast.AST) -> None:
+        for rule in self.table.get(type(node), ()):
+            for finding in rule.check(node, self.ctx):
+                if self.ctx.is_suppressed(finding.rule_id, finding.line):
+                    self.result.suppressed += 1
+                else:
+                    self.result.findings.append(finding)
+
+    def _visit(self, node: ast.AST) -> None:
+        scoped = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+        if scoped:
+            self.ctx.scope.append(getattr(node, "name", "<anon>"))
+        try:
+            self._dispatch(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+        finally:
+            if scoped:
+                self.ctx.scope.pop()
+
+
+def _relpath(path: Path, root: Path) -> str:
+    """Repo-relative POSIX path when possible, absolute otherwise."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def lint_source(
+    source: str,
+    *,
+    relpath: str,
+    path: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Lint one in-memory source blob (the unit the tests drive)."""
+    active = list(default_rules()) if rules is None else list(rules)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        result = LintResult(files_scanned=1)
+        result.errors[relpath] = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return result
+    lines = source.splitlines()
+    ctx = FileContext(
+        path=path if path is not None else Path(relpath),
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=lines,
+        suppressions=parse_suppressions(lines),
+    )
+    return _Visitor(ctx, active).run()
+
+
+def lint_file(path: Path, root: Path, rules: Sequence[Rule] | None = None) -> LintResult:
+    """Lint one file on disk."""
+    relpath = _relpath(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        result = LintResult(files_scanned=1)
+        result.errors[relpath] = str(exc)
+        return result
+    return lint_source(source, relpath=relpath, path=path, rules=rules)
+
+
+def discover(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    for entry in paths:
+        if entry.is_dir():
+            for candidate in sorted(entry.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    seen.add(candidate.resolve())
+        elif entry.suffix == ".py":
+            seen.add(entry.resolve())
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    root: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``; the public library entry."""
+    base = Path.cwd() if root is None else root
+    active = list(default_rules()) if rules is None else list(rules)
+    total = LintResult()
+    for path in discover(paths):
+        total.extend(lint_file(path, base, active))
+    total.findings.sort()
+    return total

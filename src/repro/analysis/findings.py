@@ -1,0 +1,68 @@
+"""Finding model shared by the rules, the engine, and the reporters.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` intentionally ignores the line *number* —
+baselines must survive unrelated edits above a grandfathered finding —
+and hashes the rule, the file, the enclosing symbol, and the offending
+source text instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Repo-relative POSIX path of the offending file.
+    line:
+        1-based line of the offending node.
+    col:
+        0-based column of the offending node.
+    rule_id:
+        ``RPRxxx`` identifier of the rule that fired.
+    message:
+        Human-readable description of the violation.
+    symbol:
+        Dotted path of the enclosing class/function scope (empty string at
+        module level); part of the baseline fingerprint.
+    snippet:
+        The stripped source line the finding points at.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    symbol: str = ""
+    snippet: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline: line-number independent."""
+        payload = "\x1f".join((self.rule_id, self.path, self.symbol, self.snippet))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """``path:line:col: RPRxxx message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-reporter payload for one finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "symbol": self.symbol,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

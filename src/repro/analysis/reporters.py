@@ -1,0 +1,52 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import IO
+
+from .engine import LintResult
+from .findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    result: LintResult,
+    new: list[Finding],
+    baselined: list[Finding],
+    stream: IO[str],
+) -> None:
+    """Human-readable report: one line per new finding plus a summary."""
+    for finding in new:
+        stream.write(finding.render() + "\n")
+    for relpath, message in sorted(result.errors.items()):
+        stream.write(f"{relpath}:1:0: ERROR {message}\n")
+    by_rule = Counter(f.rule_id for f in new)
+    summary = ", ".join(f"{rule}={count}" for rule, count in sorted(by_rule.items()))
+    stream.write(
+        f"repro-lint: {result.files_scanned} files, {len(new)} finding(s)"
+        + (f" [{summary}]" if summary else "")
+        + f", {len(baselined)} baselined, {result.suppressed} suppressed"
+        + (f", {len(result.errors)} error(s)" if result.errors else "")
+        + "\n"
+    )
+
+
+def render_json(
+    result: LintResult,
+    new: list[Finding],
+    baselined: list[Finding],
+    stream: IO[str],
+) -> None:
+    """Machine-readable report (stable schema for CI consumers)."""
+    payload = {
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "errors": dict(sorted(result.errors.items())),
+        "findings": [f.to_json() for f in new],
+        "baselined": [f.to_json() for f in baselined],
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")

@@ -1,0 +1,456 @@
+"""The domain-specific rule catalog (RPR001-RPR005).
+
+Each rule is a small stateless object: it declares the AST node types it
+wants to see, and the engine's single visitor pass calls
+:meth:`Rule.check` for every matching node in every file the rule
+:meth:`Rule.applies_to`.  Rules never walk the tree themselves, so adding
+a rule does not add a pass.
+
+Catalog
+-------
+RPR001  no-legacy-rng
+    All randomness must flow through ``repro._validation.as_rng`` / an
+    explicit ``numpy.random.Generator``.  The legacy module-level API
+    (``np.random.seed``/``rand``/... ) and ``RandomState`` mutate hidden
+    global state and break the determinism contract PR 1 established
+    (threaded fan-out shares streams, memoized vs. plain walks must be
+    bit-identical).
+
+RPR002  no-frozen-views
+    Never return or store a subscript view of the frozen problem arrays
+    ``CG``/``AG``/``LT``/``BT``.  A caller scaling or zeroing such a view
+    corrupts the shared problem instance (the ``_rows_for`` bug class);
+    take ``.copy()`` or materialize with ``np.array``.
+
+RPR003  validate-public-entry
+    Public entry points in ``core/``, ``cloud/``, ``baselines/`` and
+    ``apps/`` that accept array-like arguments must validate them through
+    the ``repro._validation`` helpers (or a ``_check_*`` delegate) before
+    use, so errors name the argument instead of surfacing as shape
+    explosions three frames deep.
+
+RPR004  no-bare-assert
+    ``assert`` compiles away under ``python -O``; runtime invariants in
+    library code must raise an explicit exception.
+
+RPR005  no-wall-clock
+    Benchmarks must time with ``time.perf_counter`` (monotonic, highest
+    resolution); ``time.time``/``datetime.now`` are wall clocks subject
+    to NTP slew and give garbage deltas in hot loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from typing import ClassVar
+
+from .context import FileContext
+from .findings import Finding
+
+__all__ = [
+    "Rule",
+    "NoLegacyRngRule",
+    "NoFrozenViewRule",
+    "ValidatePublicEntryRule",
+    "NoBareAssertRule",
+    "NoWallClockRule",
+    "ALL_RULES",
+    "default_rules",
+]
+
+
+class Rule:
+    """Base class for one pluggable lint rule."""
+
+    id: ClassVar[str] = "RPR000"
+    name: ClassVar[str] = "abstract-rule"
+    rationale: ClassVar[str] = ""
+    #: AST node types the engine should dispatch to this rule.
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on the given file at all."""
+        return True
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one dispatched node."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for subclass typing
+
+    def finding(self, node: ast.AST, ctx: FileContext, message: str) -> Finding:
+        """Build a Finding anchored at ``node`` in ``ctx``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            rule_id=self.id,
+            message=message,
+            symbol=ctx.symbol,
+            snippet=ctx.line_text(line),
+        )
+
+
+# --------------------------------------------------------------------- RPR001
+
+#: numpy.random attributes that are part of the *new* Generator API and
+#: therefore fine to reference at module scope.
+_NEW_RNG_API = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class NoLegacyRngRule(Rule):
+    """RPR001: ban the legacy global-state numpy RNG API."""
+
+    id = "RPR001"
+    name = "no-legacy-rng"
+    rationale = (
+        "all randomness must flow through _validation.as_rng / an explicit "
+        "numpy.random.Generator so streams stay deterministic and thread-local"
+    )
+    node_types = (ast.Attribute, ast.ImportFrom)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _NEW_RNG_API:
+                        yield self.finding(
+                            node,
+                            ctx,
+                            f"legacy RNG import numpy.random.{alias.name}; use "
+                            "_validation.as_rng / numpy.random.Generator",
+                        )
+            return
+        assert isinstance(node, ast.Attribute)  # repro-lint: disable=RPR004
+        attr = ctx.is_numpy_random_attr(node)
+        if attr is not None and attr not in _NEW_RNG_API:
+            yield self.finding(
+                node,
+                ctx,
+                f"legacy RNG call numpy.random.{attr}; use _validation.as_rng / "
+                "an explicit numpy.random.Generator parameter",
+            )
+
+
+# --------------------------------------------------------------------- RPR002
+
+#: Attribute names holding frozen problem arrays.
+_FROZEN_ATTRS = frozenset({"CG", "AG", "LT", "BT"})
+
+#: Method calls that materialize an owned array from a view.
+_COPYING_METHODS = frozenset({"copy", "toarray", "todense", "astype"})
+
+#: numpy module-level constructors that copy their input by default.
+_COPYING_FUNCS = frozenset({"array"})
+
+
+class NoFrozenViewRule(Rule):
+    """RPR002: never return or store a subscript view of CG/AG/LT/BT."""
+
+    id = "RPR002"
+    name = "no-frozen-views"
+    rationale = (
+        "subscripts of the frozen problem matrices are live views; returning or "
+        "storing one lets callers corrupt shared state (the _rows_for bug class)"
+    )
+    node_types = (ast.Return, ast.Assign, ast.AnnAssign)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def _is_frozen_subscript(self, node: ast.expr, ctx: FileContext) -> str | None:
+        """Name of the frozen attr if ``node`` is ``<expr>.CG[...]`` etc."""
+        if not isinstance(node, ast.Subscript):
+            return None
+        base = node.value
+        if isinstance(base, ast.Attribute) and base.attr in _FROZEN_ATTRS:
+            return base.attr
+        return None
+
+    def _is_sanctioned(self, node: ast.expr, ctx: FileContext) -> bool:
+        """True for ``view.copy()`` / ``np.array(view)`` style wrappers."""
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _COPYING_METHODS:
+            return True
+        parts = ctx.dotted_parts(func)
+        return (
+            parts is not None
+            and len(parts) == 2
+            and parts[0] in ctx.numpy_aliases
+            and parts[1] in _COPYING_FUNCS
+        )
+
+    def _offending_exprs(self, value: ast.expr, ctx: FileContext) -> Iterator[tuple[str, ast.expr]]:
+        exprs = value.elts if isinstance(value, ast.Tuple) else [value]
+        for expr in exprs:
+            if self._is_sanctioned(expr, ctx):
+                continue
+            attr = self._is_frozen_subscript(expr, ctx)
+            if attr is not None:
+                yield attr, expr
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                return
+            for attr, expr in self._offending_exprs(node.value, ctx):
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"returning a live view of frozen array {attr}; take .copy() "
+                    "(or materialize with np.array) before returning",
+                )
+            return
+        targets: list[ast.expr]
+        value: ast.expr | None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:
+            assign = node
+            assert isinstance(assign, ast.AnnAssign)  # repro-lint: disable=RPR004
+            targets, value = [assign.target], assign.value
+        if value is None:
+            return
+        # Only attribute targets (``self.x = ...``) persist beyond the local
+        # frame; plain local aliasing of a view is a normal numpy idiom.
+        if not any(isinstance(t, ast.Attribute) for t in targets):
+            return
+        for attr, expr in self._offending_exprs(value, ctx):
+            yield self.finding(
+                node,
+                ctx,
+                f"storing a live view of frozen array {attr} on an attribute; "
+                "take .copy() (or materialize with np.array) before storing",
+            )
+
+
+# --------------------------------------------------------------------- RPR003
+
+#: Packages whose public module-level functions are entry points.
+_ENTRY_PACKAGES = ("core", "cloud", "baselines", "apps")
+
+#: Parameter names that conventionally carry arrays in this codebase.
+_ARRAY_PARAM_NAMES = frozenset(
+    {
+        "P",
+        "Ps",
+        "CG",
+        "AG",
+        "LT",
+        "BT",
+        "vec",
+        "matrix",
+        "mat",
+        "arr",
+        "costs",
+        "values",
+        "ks",
+        "labels",
+        "sizes",
+        "weights",
+        "capacities",
+        "constraints",
+        "coordinates",
+        "mapping",
+        "data",
+    }
+)
+
+#: Annotation substrings that mark a parameter as array-like.
+_ARRAY_ANNOTATIONS = ("ndarray", "NDArray", "ArrayLike", "csr_matrix", "spmatrix")
+
+#: Call names recognized as validation (``repro._validation`` helpers plus
+#: module-private ``_check_*`` delegates).
+_VALIDATION_PREFIXES = ("check_", "_check")
+_VALIDATION_NAMES = frozenset({"as_rng"})
+
+
+class ValidatePublicEntryRule(Rule):
+    """RPR003: public entry points must validate array args eagerly."""
+
+    id = "RPR003"
+    name = "validate-public-entry"
+    rationale = (
+        "entry points validating via repro._validation raise errors that name "
+        "the argument instead of failing as shape errors deep in the kernels"
+    )
+    node_types = (ast.FunctionDef,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        parts = ctx.relpath.split("/")
+        return ctx.in_src and any(pkg in parts for pkg in _ENTRY_PACKAGES)
+
+    def _array_params(self, fn: ast.FunctionDef) -> list[str]:
+        args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+        hits: list[str] = []
+        for arg in args:
+            if arg.arg in ("self", "cls"):
+                continue
+            if arg.arg in _ARRAY_PARAM_NAMES:
+                hits.append(arg.arg)
+                continue
+            if arg.annotation is not None:
+                text = ast.unparse(arg.annotation)
+                if any(marker in text for marker in _ARRAY_ANNOTATIONS):
+                    hits.append(arg.arg)
+        return hits
+
+    def _calls_validation(self, fn: ast.FunctionDef) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name is None:
+                continue
+            if name in _VALIDATION_NAMES or name.startswith(_VALIDATION_PREFIXES):
+                return True
+        return False
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        fn = node
+        assert isinstance(fn, ast.FunctionDef)  # repro-lint: disable=RPR004
+        # Module-level public functions only: ctx.scope already contains the
+        # function's own name when this fires (the engine pushes before
+        # dispatch), so depth 1 == module level.
+        if len(ctx.scope) != 1 or fn.name.startswith("_"):
+            return
+        array_params = self._array_params(fn)
+        if not array_params:
+            return
+        if self._calls_validation(fn):
+            return
+        yield self.finding(
+            fn,
+            ctx,
+            f"public entry point {fn.name}() takes array argument(s) "
+            f"{', '.join(array_params)} but never calls a repro._validation "
+            "helper (check_* / as_rng)",
+        )
+
+
+# --------------------------------------------------------------------- RPR004
+
+
+class NoBareAssertRule(Rule):
+    """RPR004: no ``assert`` for runtime invariants in library code."""
+
+    id = "RPR004"
+    name = "no-bare-assert"
+    rationale = "assert statements are stripped under python -O; raise explicitly"
+    node_types = (ast.Assert,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_src
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        yield self.finding(
+            node,
+            ctx,
+            "bare assert is stripped under python -O; raise RuntimeError/"
+            "ValueError explicitly for runtime invariants",
+        )
+
+
+# --------------------------------------------------------------------- RPR005
+
+#: ``time`` module attributes that read the wall clock.
+_WALL_CLOCK_TIME_ATTRS = frozenset({"time", "time_ns", "clock"})
+
+
+class NoWallClockRule(Rule):
+    """RPR005: benchmarks must use perf_counter, not wall clocks."""
+
+    id = "RPR005"
+    name = "no-wall-clock"
+    rationale = (
+        "time.time()/datetime.now() are NTP-adjusted wall clocks; benchmark "
+        "deltas must come from time.perf_counter()"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_benchmarks
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                        yield self.finding(
+                            node,
+                            ctx,
+                            f"importing wall-clock time.{alias.name} in a "
+                            "benchmark; use time.perf_counter",
+                        )
+            return
+        call = node
+        assert isinstance(call, ast.Call)  # repro-lint: disable=RPR004
+        parts = ctx.dotted_parts(call.func)
+        if parts is None:
+            return
+        if len(parts) == 2 and parts[0] in ctx.time_aliases and parts[1] in _WALL_CLOCK_TIME_ATTRS:
+            yield self.finding(
+                call, ctx, f"wall-clock time.{parts[1]}() in a benchmark; use time.perf_counter()"
+            )
+        elif (
+            len(parts) == 1
+            and ctx.from_time.get(parts[0]) in _WALL_CLOCK_TIME_ATTRS
+        ):
+            yield self.finding(
+                call,
+                ctx,
+                f"wall-clock time.{ctx.from_time[parts[0]]}() in a benchmark; "
+                "use time.perf_counter()",
+            )
+        elif len(parts) >= 2 and parts[0] in ctx.datetime_aliases and parts[-1] in (
+            "now",
+            "utcnow",
+            "today",
+        ):
+            yield self.finding(
+                call,
+                ctx,
+                f"wall-clock {'.'.join(parts)}() in a benchmark; use time.perf_counter()",
+            )
+
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    NoLegacyRngRule,
+    NoFrozenViewRule,
+    ValidatePublicEntryRule,
+    NoBareAssertRule,
+    NoWallClockRule,
+)
+
+
+def default_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the rule catalog, optionally filtered by rule id."""
+    wanted = None if select is None else {s.strip().upper() for s in select}
+    rules = [cls() for cls in ALL_RULES]
+    if wanted is not None:
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.id in wanted]
+    return rules

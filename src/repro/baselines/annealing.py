@@ -151,7 +151,11 @@ class SimulatedAnnealingMapper(Mapper):
             if cost < best_cost:
                 best_cost = cost
                 best_P = P
-        assert best_P is not None
+        if best_P is None:
+            raise RuntimeError(
+                f"annealing produced no mapping across {self.restarts} "
+                "restart(s); this indicates a bug in the anneal loop"
+            )
         return best_P
 
 

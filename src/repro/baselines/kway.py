@@ -43,7 +43,7 @@ def _symmetric_dense(weights) -> np.ndarray:
 def weighted_cut(weights, labels: np.ndarray) -> float:
     """Total symmetric weight of edges crossing part boundaries."""
     sym = _symmetric_dense(weights)
-    labels = np.asarray(labels)
+    labels = check_vector(labels, "labels", size=sym.shape[0])
     cross = labels[:, None] != labels[None, :]
     # Each undirected edge appears twice in the symmetric matrix.
     return float(sym[cross].sum() / 2.0)

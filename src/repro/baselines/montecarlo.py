@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import as_rng, check_positive_int
+from .._validation import as_rng, check_positive_int, check_probability_vector, check_vector
 from ..core.constraints import constrained_sites_available
 from ..core.cost import CostEvaluator
 from ..core.mapping import Mapper, register_mapper
@@ -43,6 +43,7 @@ def sample_assignments(
     samples: int,
     *,
     seed: int | np.random.Generator | None = None,
+    site_weights: np.ndarray | None = None,
 ) -> np.ndarray:
     """(B, N) feasible random assignments (constraints and capacities held).
 
@@ -53,16 +54,32 @@ def sample_assignments(
     time).  Rows are processed in memory-bounded chunks with no
     per-sample Python loop.
 
+    ``site_weights`` biases the draw: a non-negative per-site weight
+    vector (normalized internally via
+    :func:`repro._validation.check_probability_vector`) makes heavier
+    sites proportionally more likely to receive free processes while
+    still honoring capacities exactly.  Implemented with exponential
+    sort keys (``-log(U)/w``, the Efraimidis-Spirakis scheme): taking the
+    ``k`` smallest keys draws a weighted k-subset of slots without
+    replacement.  Zero-weight sites are used only when capacity forces
+    them.
+
     RNG-stream note: this consumes exactly ``num_free_slots`` uniforms per
-    sample, regardless of chunking, so results depend only on ``seed`` and
-    the sample index — the first k samples of a larger batch equal a
-    standalone k-sample batch.  The stream differs from the pre-1.1
+    sample, regardless of chunking or weighting, so results depend only on
+    ``seed`` and the sample index — the first k samples of a larger batch
+    equal a standalone k-sample batch, and the unweighted stream is
+    unchanged from release 1.1.  The stream differs from the pre-1.1
     per-sample ``Generator.choice`` implementation, so draws are not
     reproducible across that boundary (the distribution is unchanged).
     """
     check_positive_int(samples, "samples")
     rng = as_rng(seed)
     n = problem.num_processes
+    weights = None
+    if site_weights is not None:
+        weights = check_probability_vector(
+            site_weights, "site_weights", size=problem.num_sites, normalize=True
+        )
     out = np.empty((samples, n), dtype=np.int64)
     out[:] = problem.constraints
     free = np.flatnonzero(problem.constraints == UNCONSTRAINED)
@@ -70,10 +87,20 @@ def sample_assignments(
         return out
     remaining = constrained_sites_available(problem.constraints, problem.capacities)
     slots = np.repeat(np.arange(problem.num_sites), remaining)
+    slot_inv_w = None
+    if weights is not None:
+        with np.errstate(divide="ignore"):
+            slot_inv_w = 1.0 / weights[slots]  # inf for zero-weight sites
     chunk = max(1, _SAMPLE_CHUNK_ELEMS // slots.size)
     for start in range(0, samples, chunk):
         c = min(chunk, samples - start)
         keys = rng.random((c, slots.size))
+        if slot_inv_w is not None:
+            # Exponential keys: -log(U)/w ~ Exp(w); the k smallest form a
+            # weighted k-subset without replacement.  U == 0 maps to +inf
+            # (probability-0 slot placement), never a NaN.
+            with np.errstate(divide="ignore"):
+                keys = -np.log(keys) * slot_inv_w
         order = np.argsort(keys, axis=1)[:, : free.size]
         out[start : start + c][:, free] = slots[order]
     return out
@@ -144,7 +171,7 @@ def monte_carlo_costs(
 
 def empirical_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Sorted values and their empirical cumulative probabilities."""
-    v = np.sort(np.asarray(values, dtype=np.float64))
+    v = np.sort(check_vector(values, "values", dtype=np.float64))
     if v.size == 0:
         raise ValueError("values must not be empty")
     p = np.arange(1, v.size + 1) / v.size
@@ -153,7 +180,7 @@ def empirical_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 def quantile_of_cost(costs: np.ndarray, cost: float) -> float:
     """P[random cost <= cost]: how deep in the left tail a solution sits."""
-    costs = np.asarray(costs)
+    costs = check_vector(costs, "costs", dtype=np.float64)
     if costs.size == 0:
         raise ValueError("costs must not be empty")
     return float(np.count_nonzero(costs <= cost) / costs.size)
@@ -172,10 +199,10 @@ def best_of_k_curve(
     Carlo pool ``repeats`` times and averaging the minima; exact
     enumeration is hopeless and this estimator is unbiased.
     """
-    costs = np.asarray(costs, dtype=np.float64)
+    costs = check_vector(costs, "costs", dtype=np.float64)
     if costs.size == 0:
         raise ValueError("costs must not be empty")
-    ks = np.asarray(ks, dtype=np.int64)
+    ks = check_vector(ks, "ks", dtype=np.int64)
     if np.any(ks <= 0):
         raise ValueError("all K values must be positive")
     check_positive_int(repeats, "repeats")
@@ -218,7 +245,11 @@ class MonteCarloMapper(Mapper):
                 best_cost = float(costs[idx])
                 best_P = Ps[idx]
             remaining -= b
-        assert best_P is not None
+        if best_P is None:
+            raise RuntimeError(
+                "Monte Carlo search evaluated no samples; samples="
+                f"{self.samples} should have produced at least one candidate"
+            )
         return best_P
 
 

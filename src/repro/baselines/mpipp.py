@@ -169,7 +169,12 @@ class MPIPPMapper(Mapper):
             if cost < best_cost:
                 best_cost = cost
                 best_P = P
-        assert best_P is not None
+        if best_P is None:
+            raise RuntimeError(
+                "MPIPP produced no candidate mapping across "
+                f"{self.restarts} restart(s); this indicates a bug in the "
+                "partition/refine pipeline"
+            )
         return best_P
 
     # ------------------------------------------------------- part assignment
@@ -212,7 +217,11 @@ class MPIPPMapper(Mapper):
                 c = perm_cost(perm)
                 if c < best_cost:
                     best, best_cost = perm, c
-            assert best is not None  # identity is always feasible
+            if best is None:  # unreachable: the identity bijection is feasible
+                raise RuntimeError(
+                    "no feasible part->site bijection found; the identity "
+                    "assignment should always be feasible"
+                )
             perm = best
         else:
             # Greedy pairwise part exchange from the identity assignment.

@@ -60,8 +60,12 @@ def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
     return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
 
 
-def pairwise_distances_km(coords: "np.ndarray | list[GeoCoordinate]") -> np.ndarray:
+def pairwise_distances_km(coords: "np.ndarray | list[GeoCoordinate]") -> np.ndarray:  # repro-lint: disable=RPR003
     """All-pairs haversine distance matrix.
+
+    Accepts heterogeneous input (GeoCoordinate list or array), so shape
+    validation is inline rather than via ``_validation`` (RPR003
+    suppressed).
 
     Parameters
     ----------

@@ -30,7 +30,6 @@ from typing import Sequence
 
 import numpy as np
 
-from .geo import haversine_km
 from .instances import InstanceType, get_instance_type
 from .regions import Region, get_region
 

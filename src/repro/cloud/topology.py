@@ -11,7 +11,7 @@ The paper's table units (ms, MB/s) are applied only at display time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

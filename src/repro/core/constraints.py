@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import as_rng, check_fraction
+from .._validation import as_rng, check_fraction, check_vector
 from .problem import UNCONSTRAINED, MappingProblem
 
 __all__ = [
@@ -80,8 +80,8 @@ def constrained_sites_available(constraints: np.ndarray, capacities: np.ndarray)
 
     This is Algorithm 1's line 5: ``I[j] -= count(j, C)``.
     """
-    cons = np.asarray(constraints, dtype=np.int64)
-    caps = np.asarray(capacities, dtype=np.int64)
+    cons = check_vector(constraints, "constraints")
+    caps = check_vector(capacities, "capacities")
     pinned = cons[cons != UNCONSTRAINED]
     counts = np.bincount(pinned, minlength=caps.shape[0]) if pinned.size else np.zeros_like(caps)
     remaining = caps - counts
@@ -97,8 +97,8 @@ def merge_constraints(primary: np.ndarray, secondary: np.ndarray) -> np.ndarray:
     Useful when an application imposes structural pins (e.g. data sources)
     on top of a user-supplied privacy policy.
     """
-    a = np.asarray(primary, dtype=np.int64)
-    b = np.asarray(secondary, dtype=np.int64)
+    a = check_vector(primary, "primary")
+    b = check_vector(secondary, "secondary")
     if a.shape != b.shape:
         raise ValueError(f"constraint vectors differ in shape: {a.shape} vs {b.shape}")
     out = a.copy()

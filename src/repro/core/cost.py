@@ -19,7 +19,6 @@ This module provides:
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from .problem import MappingProblem
 
@@ -84,8 +83,11 @@ def aggregate_site_traffic(problem: MappingProblem, P: np.ndarray) -> tuple[np.n
     return vol, cnt
 
 
-def total_cost(problem: MappingProblem, P: np.ndarray) -> float:
+def total_cost(problem: MappingProblem, P: np.ndarray) -> float:  # repro-lint: disable=RPR003
     """COST(P): total communication cost in seconds of link time.
+
+    ``P`` is validated by :func:`aggregate_site_traffic`'s
+    ``_check_assignment`` call, hence the RPR003 suppression.
 
     Note this is the paper's additive objective — the sum over all process
     pairs of their alpha-beta transfer times — not a makespan; the

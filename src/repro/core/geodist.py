@@ -34,7 +34,7 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from .._validation import as_rng, check_positive_int
+from .._validation import check_positive_int
 from .constraints import constrained_sites_available
 from .cost import total_cost
 from .grouping import SiteGroup, group_sites
@@ -309,7 +309,11 @@ class GeoDistributedMapper(Mapper):
             best_cost, best_idx, best_P = self._evaluate_orders(
                 problem, groups, indexed, quantity, sym
             )
-        assert best_P is not None  # at least one order always runs
+        if best_P is None:  # unreachable: at least one order always runs
+            raise RuntimeError(
+                "greedy fill evaluated no group orders; at least one "
+                "permutation should always be enumerated"
+            )
         return best_P
 
     def _evaluate_orders(

@@ -34,8 +34,11 @@ class FeasibilityError(ValueError):
     """Raised when an assignment violates capacities or constraints."""
 
 
-def validate_assignment(problem: MappingProblem, assignment: np.ndarray) -> np.ndarray:
+def validate_assignment(problem: MappingProblem, assignment: np.ndarray) -> np.ndarray:  # repro-lint: disable=RPR003
     """Check P against Formula (5)'s two constraint families.
+
+    This function *is* a validator (raising :class:`FeasibilityError`,
+    not ValueError), hence the RPR003 suppression.
 
     1. pinned processes sit on their required site:
        ``(P - C) .* C == 0`` in the paper's component-wise notation;

@@ -20,10 +20,10 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from .._validation import as_rng, check_fraction
+from .._validation import as_rng, check_fraction, check_positive_int, check_vector
 from .geodist import GeoDistributedMapper, _affinity_row, _symmetric_traffic
 from .grouping import SiteGroup, group_sites
-from .mapping import FeasibilityError, Mapper, Mapping, register_mapper, validate_assignment
+from .mapping import FeasibilityError
 from .problem import UNCONSTRAINED, MappingProblem
 
 __all__ = [
@@ -39,7 +39,8 @@ __all__ = [
 
 def allowed_from_constraints(constraints: np.ndarray, num_sites: int) -> np.ndarray:
     """Lift a single-site constraint vector to an allowed matrix."""
-    cons = np.asarray(constraints, dtype=np.int64)
+    cons = check_vector(constraints, "constraints")
+    num_sites = check_positive_int(num_sites, "num_sites")
     n = cons.shape[0]
     allowed = np.ones((n, num_sites), dtype=bool)
     pinned = cons != UNCONSTRAINED
@@ -48,8 +49,8 @@ def allowed_from_constraints(constraints: np.ndarray, num_sites: int) -> np.ndar
     return allowed
 
 
-def validate_allowed(allowed: np.ndarray, n: int, m: int) -> np.ndarray:
-    """Shape/content checks for an allowed matrix."""
+def validate_allowed(allowed: np.ndarray, n: int, m: int) -> np.ndarray:  # repro-lint: disable=RPR003
+    """Shape/content checks for an allowed matrix (is itself a validator)."""
     arr = np.asarray(allowed)
     if arr.shape != (n, m):
         raise ValueError(f"allowed must be ({n}, {m}), got {arr.shape}")
@@ -71,10 +72,8 @@ def multisite_feasible(allowed: np.ndarray, capacities: np.ndarray) -> bool:
     using scipy's sparse max-flow.
     """
     allowed = np.asarray(allowed, dtype=bool)
-    caps = np.asarray(capacities, dtype=np.int64)
     n, m = allowed.shape
-    if caps.shape != (m,):
-        raise ValueError(f"capacities must have length {m}, got {caps.shape}")
+    caps = check_vector(capacities, "capacities", size=m)
     if caps.sum() < n:
         return False
 
@@ -135,10 +134,10 @@ def random_multisite_constraints(
     return allowed
 
 
-def validate_multisite_assignment(
+def validate_multisite_assignment(  # repro-lint: disable=RPR003
     problem: MappingProblem, allowed: np.ndarray, assignment: np.ndarray
 ) -> np.ndarray:
-    """Capacity check plus the set-constraint check."""
+    """Capacity check plus the set-constraint check (is itself a validator)."""
     n, m = problem.num_processes, problem.num_sites
     allowed = validate_allowed(allowed, n, m)
     P = np.asarray(assignment)
@@ -173,8 +172,9 @@ def random_allowed_assignment(
     shuffle on dead ends, which for feasible instances succeeds quickly.
     """
     allowed = np.asarray(allowed, dtype=bool)
-    caps = np.asarray(capacities, dtype=np.int64)
     n, m = allowed.shape
+    caps = check_vector(capacities, "capacities", size=m)
+    check_positive_int(max_tries, "max_tries")
     degrees = allowed.sum(axis=1)
     for _ in range(max_tries):
         order = np.lexsort((rng.permutation(n), degrees))

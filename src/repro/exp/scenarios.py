@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..apps import make_paper_app
 from ..apps.base import Application
 from ..cloud.regions import PAPER_EC2_REGIONS

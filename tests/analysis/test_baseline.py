@@ -1,0 +1,75 @@
+"""Baseline round-trip, partitioning, and fingerprint stability."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, lint_source
+
+BAD = "def invariant(x):\n    assert x > 0\n    return x\n"
+
+
+def findings_for(source, relpath="src/repro/core/example.py"):
+    return lint_source(source, relpath=relpath).findings
+
+
+def test_round_trip(tmp_path):
+    findings = findings_for(BAD)
+    assert findings
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(path)
+
+    loaded = Baseline.load(path)
+    assert loaded.size == len(findings)
+    for f in findings:
+        assert loaded.contains(f)
+    new, old = loaded.partition(findings)
+    assert new == []
+    assert old == findings
+
+
+def test_missing_file_is_empty():
+    baseline = Baseline.load(Path("/nonexistent/baseline.json"))
+    assert baseline.size == 0
+    assert baseline.partition(findings_for(BAD))[0] == findings_for(BAD)
+
+
+def test_corrupt_and_wrong_version_files_raise(tmp_path):
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("{not json")
+    with pytest.raises(ValueError, match="unreadable"):
+        Baseline.load(garbled)
+
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError, match="unsupported"):
+        Baseline.load(wrong)
+
+
+def test_fingerprint_survives_line_shifts():
+    """Baselines hash (rule, path, symbol, snippet), not line numbers, so
+    unrelated edits above a grandfathered finding do not invalidate it."""
+    original = findings_for(BAD)
+    shifted = findings_for("# a new comment\n\n\n" + BAD)
+    assert [f.line for f in original] != [f.line for f in shifted]
+    assert [f.fingerprint for f in original] == [f.fingerprint for f in shifted]
+
+    baseline = Baseline.from_findings(original)
+    new, old = baseline.partition(shifted)
+    assert new == []
+    assert len(old) == len(original)
+
+
+def test_fingerprint_distinguishes_symbol_and_rule():
+    a = findings_for(BAD)[0]
+    renamed = findings_for(BAD.replace("invariant", "check"))[0]
+    assert a.fingerprint != renamed.fingerprint
+
+
+def test_checked_in_baseline_is_empty(request):
+    """The repo ships with a clean slate: nothing grandfathered."""
+    root = request.config.rootpath
+    path = root / ".repro-lint-baseline.json"
+    assert path.exists()
+    assert Baseline.load(path).size == 0

@@ -1,0 +1,93 @@
+"""End-to-end CLI behavior: exit codes, baseline workflow, reporters."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+BAD_SRC = "import numpy as np\n\n\ndef reseed():\n    np.random.seed(0)\n"
+CLEAN_SRC = "import numpy as np\n\n\ndef draw(rng):\n    return rng.random()\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A miniature repo: one dirty file under src/, one clean one."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text(BAD_SRC)
+    (pkg / "clean.py").write_text(CLEAN_SRC)
+    return tmp_path
+
+
+def run(tree, *extra):
+    return main([str(tree / "src"), "--baseline", str(tree / "baseline.json"), *extra])
+
+
+def test_new_finding_exits_1(tree, capsys):
+    assert run(tree) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out
+    assert "numpy.random.seed" in out
+
+
+def test_clean_tree_exits_0(tree, capsys):
+    (tree / "src" / "repro" / "dirty.py").write_text(CLEAN_SRC)
+    assert run(tree) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_write_baseline_then_clean(tree, capsys):
+    assert run(tree, "--write-baseline") == 0
+    payload = json.loads((tree / "baseline.json").read_text())
+    assert payload["version"] == 1
+    assert "RPR001" in payload["findings"]
+    capsys.readouterr()
+
+    # The grandfathered finding no longer fails the run...
+    assert run(tree) == 0
+    assert "baselined" in capsys.readouterr().out
+    # ...unless the baseline is bypassed.
+    assert run(tree, "--no-baseline") == 1
+
+
+def test_corrupt_baseline_exits_2(tree, capsys):
+    (tree / "baseline.json").write_text("{broken")
+    assert run(tree) == 2
+    assert "unreadable" in capsys.readouterr().out
+
+
+def test_json_reporter_is_machine_readable(tree, capsys):
+    assert run(tree, "--format", "json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 2
+    [finding] = payload["findings"]
+    assert finding["rule"] == "RPR001"
+    assert finding["path"].endswith("dirty.py")
+
+
+def test_select_restricts_rules(tree):
+    assert run(tree, "--select", "RPR004") == 0
+    assert run(tree, "--select", "RPR001") == 1
+
+
+def test_usage_errors_exit_2(tree):
+    with pytest.raises(SystemExit) as exc:
+        run(tree, "--select", "RPR999")
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        main([str(tree / "does-not-exist")])
+    assert exc.value.code == 2
+
+
+def test_syntax_error_exits_1(tree, capsys):
+    (tree / "src" / "repro" / "dirty.py").write_text("def broken(:\n")
+    assert run(tree) == 1
+    assert "syntax error" in capsys.readouterr().out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert rule_id in out

@@ -1,0 +1,343 @@
+"""Fixture snippets proving each RPR rule fires (and stays quiet)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.rules import (
+    NoBareAssertRule,
+    NoFrozenViewRule,
+    NoLegacyRngRule,
+    NoWallClockRule,
+    ValidatePublicEntryRule,
+    default_rules,
+)
+
+SRC = "src/repro/core/example.py"
+BENCH = "benchmarks/bench_example.py"
+
+
+def lint(source, relpath=SRC, rules=None):
+    return lint_source(textwrap.dedent(source), relpath=relpath, rules=rules)
+
+
+def rule_ids(result):
+    return [f.rule_id for f in result.findings]
+
+
+# ----------------------------------------------------------------- RPR001
+
+
+def test_rpr001_flags_legacy_module_calls():
+    result = lint(
+        """
+        import numpy as np
+
+        def shuffle(xs):
+            np.random.seed(0)
+            return np.random.rand(len(xs))
+        """,
+        rules=[NoLegacyRngRule()],
+    )
+    assert rule_ids(result) == ["RPR001", "RPR001"]
+    assert "np.random.seed(0)" in result.findings[0].snippet
+
+
+def test_rpr001_flags_legacy_from_import():
+    result = lint(
+        "from numpy.random import RandomState\n",
+        rules=[NoLegacyRngRule()],
+    )
+    assert rule_ids(result) == ["RPR001"]
+    assert "RandomState" in result.findings[0].message
+
+
+def test_rpr001_flags_import_numpy_random_alias():
+    result = lint(
+        """
+        import numpy.random as npr
+
+        def draw():
+            return npr.uniform()
+        """,
+        rules=[NoLegacyRngRule()],
+    )
+    assert rule_ids(result) == ["RPR001"]
+
+
+def test_rpr001_allows_generator_api():
+    result = lint(
+        """
+        import numpy as np
+        from numpy.random import Generator, default_rng
+
+        def draw(seed):
+            return np.random.default_rng(seed).random()
+        """,
+        rules=[NoLegacyRngRule()],
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------- RPR002
+
+
+def test_rpr002_flags_returned_view():
+    result = lint(
+        """
+        def rows_for(problem, idx):
+            return problem.CG[idx]
+        """,
+        rules=[NoFrozenViewRule()],
+    )
+    assert rule_ids(result) == ["RPR002"]
+    assert "CG" in result.findings[0].message
+    assert result.findings[0].symbol == "rows_for"
+
+
+def test_rpr002_flags_attribute_store():
+    result = lint(
+        """
+        class Cache:
+            def __init__(self, problem, idx):
+                self._lt = problem.LT[idx]
+        """,
+        rules=[NoFrozenViewRule()],
+    )
+    assert rule_ids(result) == ["RPR002"]
+    assert "LT" in result.findings[0].message
+
+
+def test_rpr002_allows_copies_and_locals():
+    result = lint(
+        """
+        import numpy as np
+
+        class Cache:
+            def __init__(self, problem, idx):
+                self._bt = problem.BT[idx].copy()
+                self._ag = np.array(problem.AG[idx])
+
+        def local_alias_is_fine(problem, idx):
+            rows = problem.CG[idx]
+            return rows.sum()
+        """,
+        rules=[NoFrozenViewRule()],
+    )
+    assert result.findings == []
+
+
+def test_rpr002_only_runs_on_src():
+    result = lint(
+        "def f(problem, i):\n    return problem.CG[i]\n",
+        relpath=BENCH,
+        rules=[NoFrozenViewRule()],
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------- RPR003
+
+
+def test_rpr003_flags_unvalidated_entry_point():
+    result = lint(
+        """
+        import numpy as np
+
+        def total_load(capacities):
+            return int(np.sum(capacities))
+        """,
+        rules=[ValidatePublicEntryRule()],
+    )
+    assert rule_ids(result) == ["RPR003"]
+    assert "total_load" in result.findings[0].message
+    assert "capacities" in result.findings[0].message
+
+
+def test_rpr003_matches_array_annotations():
+    result = lint(
+        """
+        import numpy as np
+
+        def spectral_radius(adjacency: np.ndarray) -> float:
+            return float(np.abs(np.linalg.eigvals(adjacency)).max())
+        """,
+        rules=[ValidatePublicEntryRule()],
+    )
+    assert rule_ids(result) == ["RPR003"]
+
+
+def test_rpr003_satisfied_by_validation_call():
+    result = lint(
+        """
+        from repro._validation import check_vector
+
+        def total_load(capacities):
+            caps = check_vector(capacities, "capacities")
+            return int(caps.sum())
+        """,
+        rules=[ValidatePublicEntryRule()],
+    )
+    assert result.findings == []
+
+
+def test_rpr003_skips_private_nested_and_non_entry_files():
+    source = """
+        def _helper(capacities):
+            return capacities.sum()
+
+        def outer():
+            def inner(capacities):
+                return capacities.sum()
+            return inner
+        """
+    assert lint(source, rules=[ValidatePublicEntryRule()]).findings == []
+    # Same public-function violation outside core/cloud/baselines/apps.
+    outside = "def total_load(capacities):\n    return capacities.sum()\n"
+    result = lint(outside, relpath="src/repro/exp/example.py", rules=[ValidatePublicEntryRule()])
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------- RPR004
+
+
+def test_rpr004_flags_bare_assert():
+    result = lint(
+        """
+        def invariant(x):
+            assert x > 0, "positive"
+            return x
+        """,
+        rules=[NoBareAssertRule()],
+    )
+    assert rule_ids(result) == ["RPR004"]
+    assert "-O" in result.findings[0].message
+
+
+def test_rpr004_ignores_test_style_paths():
+    result = lint(
+        "def f(x):\n    assert x\n",
+        relpath="tests/test_example.py",
+        rules=[NoBareAssertRule()],
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------- RPR005
+
+
+def test_rpr005_flags_wall_clocks_in_benchmarks():
+    result = lint(
+        """
+        import time
+        import datetime
+
+        def bench():
+            t0 = time.time()
+            time.time_ns()
+            datetime.datetime.now()
+            return time.perf_counter() - t0
+        """,
+        relpath=BENCH,
+        rules=[NoWallClockRule()],
+    )
+    assert rule_ids(result) == ["RPR005", "RPR005", "RPR005"]
+
+
+def test_rpr005_flags_from_import_alias():
+    result = lint(
+        """
+        from time import time as wall
+
+        def bench():
+            return wall()
+        """,
+        relpath=BENCH,
+        rules=[NoWallClockRule()],
+    )
+    # Both the import itself and the aliased call are flagged.
+    assert rule_ids(result) == ["RPR005", "RPR005"]
+
+
+def test_rpr005_allows_perf_counter_and_src_files():
+    clean = """
+        import time
+
+        def bench():
+            t0 = time.perf_counter()
+            return time.perf_counter() - t0
+        """
+    assert lint(clean, relpath=BENCH, rules=[NoWallClockRule()]).findings == []
+    wall = "import time\n\ndef f():\n    return time.time()\n"
+    assert lint(wall, relpath=SRC, rules=[NoWallClockRule()]).findings == []
+
+
+# ------------------------------------------------------------- suppression
+
+
+def test_suppression_comment_silences_one_rule():
+    result = lint(
+        """
+        def invariant(x):
+            assert x > 0  # repro-lint: disable=RPR004
+            return x
+        """,
+        rules=[NoBareAssertRule()],
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_suppression_all_and_multiple_ids():
+    result = lint(
+        """
+        import numpy as np
+
+        def f():
+            np.random.seed(0)  # repro-lint: disable=all
+            np.random.rand()  # repro-lint: disable=RPR001, RPR004
+        """,
+        rules=[NoLegacyRngRule()],
+    )
+    assert result.findings == []
+    assert result.suppressed == 2
+
+
+def test_suppression_does_not_cover_other_rules_or_lines():
+    result = lint(
+        """
+        def invariant(x):
+            assert x > 0  # repro-lint: disable=RPR001
+            assert x < 9
+            return x
+        """,
+        rules=[NoBareAssertRule()],
+    )
+    assert rule_ids(result) == ["RPR004", "RPR004"]
+    assert result.suppressed == 0
+
+
+# ------------------------------------------------------------------ engine
+
+
+def test_default_rules_select_and_unknown():
+    assert {r.id for r in default_rules()} == {
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+    }
+    assert [r.id for r in default_rules(["rpr004"])] == ["RPR004"]
+    try:
+        default_rules(["RPR999"])
+    except ValueError as exc:
+        assert "RPR999" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("unknown rule id must raise")
+
+
+def test_syntax_error_is_reported_not_raised():
+    result = lint_source("def broken(:\n", relpath=SRC)
+    assert result.findings == []
+    assert SRC in result.errors
+    assert "syntax error" in result.errors[SRC]

@@ -1,6 +1,5 @@
 """Unit tests for the Application base plumbing."""
 
-import numpy as np
 import pytest
 import scipy.sparse as sp
 

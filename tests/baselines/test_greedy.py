@@ -1,7 +1,6 @@
 """Unit tests for the Greedy (Hoefler-Snir) baseline."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import GreedyMapper, RandomMapper, site_total_bandwidth
 from repro.core import MappingProblem, validate_assignment

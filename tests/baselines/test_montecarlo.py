@@ -48,6 +48,48 @@ def test_sample_assignments_fully_constrained(topo4):
         np.testing.assert_array_equal(P, p.constraints)
 
 
+def test_sample_assignments_site_weights_feasible_and_deterministic(problem64):
+    w = np.arange(1.0, problem64.num_sites + 1.0)
+    a = sample_assignments(problem64, 16, seed=3, site_weights=w)
+    b = sample_assignments(problem64, 16, seed=3, site_weights=w)
+    np.testing.assert_array_equal(a, b)
+    for P in a:
+        validate_assignment(problem64, P)
+
+
+def test_sample_assignments_site_weights_bias(problem16):
+    """A site with 10x the weight of its peers should absorb more free
+    processes on average (problem16 leaves plenty of spare capacity)."""
+    m = problem16.num_sites
+    w = np.ones(m)
+    w[0] = 10.0
+    plain = sample_assignments(problem16, 256, seed=11)
+    biased = sample_assignments(problem16, 256, seed=11, site_weights=w)
+    assert (biased == 0).sum() > 1.5 * (plain == 0).sum()
+
+
+def test_sample_assignments_site_weights_validation(problem64):
+    with pytest.raises(ValueError, match="site_weights"):
+        sample_assignments(problem64, 4, seed=0, site_weights=np.array([0.5, 0.5]))
+    with pytest.raises(ValueError, match="negative"):
+        sample_assignments(
+            problem64, 4, seed=0, site_weights=-np.ones(problem64.num_sites)
+        )
+
+
+def test_sample_assignments_zero_weight_used_only_when_forced(topo4):
+    """Zero-weight sites receive processes only once every positive-weight
+    slot is exhausted (capacity pressure), never before."""
+    p = make_problem(int(np.sum(topo4.capacities[1:])), topo4, seed=21)
+    w = np.ones(topo4.num_sites)
+    w[0] = 0.0
+    Ps = sample_assignments(p, 32, seed=7, site_weights=w)
+    # Everything fits on sites 1..M-1, so site 0 must stay empty.
+    assert not np.any(Ps == 0)
+    for P in Ps:
+        validate_assignment(p, P)
+
+
 def test_sample_assignments_spans_chunks(problem64, monkeypatch):
     """Chunked generation is invisible: forcing tiny chunks reproduces the
     single-chunk draws exactly."""

@@ -1,7 +1,6 @@
 """Targeted tests for MPIPP's part->site assignment search (geo-aware)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.mpipp import MPIPPMapper, _part_sizes
 from repro.core import MappingProblem, UNCONSTRAINED

@@ -1,7 +1,6 @@
 """Unit tests for the Baseline (random) mapper."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import RandomMapper, random_assignment
 from repro.core import validate_assignment

@@ -7,7 +7,6 @@ from repro.cloud import (
     BANDWIDTH_PROBE_BYTES,
     PingpongCalibrator,
     calibration_overhead_minutes,
-    paper_topology,
 )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud import INSTANCE_TYPES, PAPER_INSTANCE_TYPE, get_instance_type
+from repro.cloud import PAPER_INSTANCE_TYPE, get_instance_type
 
 
 def test_table1_intra_region_anchors():

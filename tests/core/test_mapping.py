@@ -12,8 +12,6 @@ from repro.core import (
     register_mapper,
     validate_assignment,
 )
-from tests.conftest import make_problem
-
 
 def test_validate_assignment_accepts_feasible(problem64):
     P = problem64.constraints.copy()

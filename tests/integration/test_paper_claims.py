@@ -6,7 +6,6 @@ measures at full scale.
 """
 
 import numpy as np
-import pytest
 
 from repro.cloud import (
     NetworkModel,

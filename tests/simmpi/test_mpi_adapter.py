@@ -10,7 +10,6 @@ import queue
 import threading
 from collections import defaultdict
 
-import numpy as np
 import pytest
 
 from repro.apps import LUApp, RingApp

@@ -9,6 +9,7 @@ from repro._validation import (
     check_matrix_pair,
     check_nonnegative_int,
     check_positive_int,
+    check_probability_vector,
     check_square_matrix,
     check_vector,
 )
@@ -69,6 +70,74 @@ def test_check_vector():
         check_vector(np.zeros((2, 2)), "v")
     with pytest.raises(ValueError, match="length 2"):
         check_vector([1], "v", size=2)
+
+
+def test_check_vector_rejects_boolean_arrays():
+    with pytest.raises(TypeError, match="caps must be numeric"):
+        check_vector(np.array([True, False, True]), "caps")
+
+
+def test_check_vector_rejects_non_integral_floats():
+    """The old behavior silently truncated [2.7, 3.9] -> [2, 3]."""
+    with pytest.raises(ValueError, match=r"caps must contain integral values"):
+        check_vector([2.7, 3.9], "caps")
+    with pytest.raises(ValueError, match=r"caps\[1\] = 3.9"):
+        check_vector([2.0, 3.9], "caps")
+
+
+def test_check_vector_accepts_integral_floats():
+    v = check_vector([2.0, 3.0], "caps")
+    assert v.dtype == np.int64
+    np.testing.assert_array_equal(v, [2, 3])
+
+
+def test_check_vector_rejects_non_finite_for_integer_targets():
+    with pytest.raises(ValueError, match="non-finite"):
+        check_vector([1.0, np.nan], "caps")
+    with pytest.raises(ValueError, match="non-finite"):
+        check_vector([1.0, np.inf], "caps")
+
+
+def test_check_vector_float_target_passes_floats_through():
+    v = check_vector([2.7, 3.9], "xs", dtype=np.float64)
+    assert v.dtype == np.float64
+    np.testing.assert_allclose(v, [2.7, 3.9])
+
+
+def test_check_square_matrix_rejects_non_finite():
+    mat = np.ones((3, 3))
+    mat[1, 2] = np.nan
+    with pytest.raises(ValueError, match="non-finite"):
+        check_square_matrix(mat, "m")
+    mat[1, 2] = np.inf
+    with pytest.raises(ValueError, match="non-finite"):
+        check_square_matrix(mat, "m")
+
+
+def test_check_probability_vector():
+    p = check_probability_vector([0.25, 0.75], "p")
+    assert p.dtype == np.float64
+    np.testing.assert_allclose(p, [0.25, 0.75])
+    with pytest.raises(ValueError, match="sum to 1"):
+        check_probability_vector([0.5, 0.6], "p")
+    with pytest.raises(ValueError, match="1-D"):
+        check_probability_vector(np.full((2, 2), 0.25), "p")
+    with pytest.raises(ValueError, match="length 3"):
+        check_probability_vector([0.5, 0.5], "p", size=3)
+    with pytest.raises(ValueError, match="not be empty"):
+        check_probability_vector([], "p")
+    with pytest.raises(ValueError, match="negative"):
+        check_probability_vector([1.5, -0.5], "p")
+    with pytest.raises(ValueError, match="non-finite"):
+        check_probability_vector([np.nan, 1.0], "p")
+
+
+def test_check_probability_vector_normalize():
+    p = check_probability_vector([2.0, 6.0], "w", normalize=True)
+    np.testing.assert_allclose(p, [0.25, 0.75])
+    assert abs(p.sum() - 1.0) < 1e-12
+    with pytest.raises(ValueError, match="positive sum"):
+        check_probability_vector([0.0, 0.0], "w", normalize=True)
 
 
 def test_as_rng():
