@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import statistics
+import tempfile
 import time
 from pathlib import Path
 
@@ -54,13 +55,19 @@ def update_bench_json(records: list[dict], path: Path = BENCH_PERF_JSON) -> Path
     Records carrying the same ``(bench, n, m)`` key replace their previous
     entries; everything else is preserved, so the core and geodist benches
     can update the file independently.
+
+    The rewrite is atomic (temp file in the same directory +
+    :func:`os.replace`), so a benchmark run killed mid-write can never
+    leave a truncated baseline behind; a pre-existing corrupt or
+    non-list file is treated as empty rather than fatal.
     """
     existing: list[dict] = []
-    if path.exists():
-        try:
-            existing = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            existing = []
+    try:
+        loaded = json.loads(path.read_text())
+        if isinstance(loaded, list):
+            existing = [r for r in loaded if isinstance(r, dict)]
+    except (FileNotFoundError, OSError, json.JSONDecodeError):
+        existing = []
     replaced = {(r["bench"], r["n"], r["m"]) for r in records}
     merged = [
         r
@@ -69,7 +76,21 @@ def update_bench_json(records: list[dict], path: Path = BENCH_PERF_JSON) -> Path
     ]
     merged.extend(records)
     merged.sort(key=lambda r: (str(r.get("bench")), r.get("n") or 0, r.get("m") or 0))
-    path.write_text(json.dumps(merged, indent=2) + "\n")
+    payload = json.dumps(merged, indent=2) + "\n"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 

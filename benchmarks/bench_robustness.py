@@ -1,0 +1,80 @@
+"""Robustness under faults: repair quality and migration volume.
+
+Evaluates every mapper against the standard fault suite (site outage,
+link brownout, latency spike, flapping link, capacity loss) on a
+slack-provisioned deployment: for each (fault, mapper) cell the harness
+maps the healthy problem, fires the fault, repairs incrementally, and
+re-maps the degraded problem from scratch.  The claims checked:
+
+* the incremental repair stays feasible and within 10% of the
+  from-scratch cost for the paper's Geo-distributed mapper;
+* it migrates no more than the displaced set plus a 10%-of-N budget,
+  where a from-scratch re-map would move almost everything;
+* pure link faults (no capacity change) displace nobody for an
+  already-good mapping.
+"""
+
+import time
+
+import numpy as np
+
+from repro.exp import default_mappers, evaluate_robustness, robustness_table
+from repro.exp.robustness import robustness_scenario
+
+from _common import FULL_SCALE, emit, update_bench_json
+
+N, M = (64, 4) if FULL_SCALE else (32, 4)
+SLACK = 2.0
+SEED = 0
+
+
+def run_robustness():
+    start = time.perf_counter()
+    scenario = robustness_scenario(
+        "LU", N, num_sites=M, slack=SLACK, seed=SEED, iterations=2
+    )
+    mappers = default_mappers(include_mpipp=FULL_SCALE)
+    cells = evaluate_robustness(scenario.problem, mappers, seed=SEED)
+    return scenario, cells, time.perf_counter() - start
+
+
+def test_robustness(benchmark):
+    scenario, cells, seconds = benchmark.pedantic(
+        run_robustness, rounds=1, iterations=1
+    )
+
+    emit("robustness", robustness_table(cells))
+    update_bench_json(
+        [
+            {
+                "bench": f"robustness/{c.fault}/{c.mapper}",
+                "n": N,
+                "m": M,
+                "seconds": seconds,
+                "cost": c.repaired_cost if c.feasible else None,
+            }
+            for c in cells
+        ]
+    )
+
+    by_key = {(c.fault, c.mapper): c for c in cells}
+    budget = N // 10
+
+    # Every cell of the slack-provisioned suite is repairable.
+    assert all(c.feasible for c in cells)
+
+    for (fault, mapper_name), c in by_key.items():
+        # Repairs are real mappings: finite costs, bounded migrations.
+        assert np.isfinite(c.repaired_cost) and np.isfinite(c.scratch_cost)
+        assert c.num_migrated <= c.num_displaced + budget
+
+    # The paper's mapper repairs within 10% of a from-scratch re-map.
+    for fault in ("outage", "brownout", "latency-spike", "flapping",
+                  "capacity-loss"):
+        c = by_key[(fault, "Geo-distributed")]
+        assert c.cost_ratio <= 1.10, (fault, c.cost_ratio)
+
+    # Pure link faults displace nobody: capacities are untouched, so the
+    # incremental path starts from a complete feasible assignment.
+    for fault in ("brownout", "latency-spike", "flapping"):
+        assert by_key[(fault, "Geo-distributed")].num_displaced == 0

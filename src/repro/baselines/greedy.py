@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..core.constraints import constrained_sites_available
+from ..core.constraints import constrained_sites_available, ensure_feasible
 from ..core.mapping import Mapper, register_mapper
 from ..core.problem import UNCONSTRAINED, MappingProblem
 
@@ -80,6 +80,7 @@ class GreedyMapper(Mapper):
         self.affinity_growth = bool(affinity_growth)
 
     def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+        ensure_feasible(problem, context=self.name)
         n = problem.num_processes
         P = problem.constraints.copy()
         selected = P != UNCONSTRAINED

@@ -13,6 +13,11 @@ Commands
 ``compare``
     The full experiment: profile, map with all four algorithms, simulate,
     and print the improvement table.
+``robustness``
+    Evaluate every mapper against the standard fault suite (outage,
+    brownout, latency spike, flapping link, capacity loss) with the
+    resilient runner: per-cell timeouts, bounded retries, and
+    checkpoint/resume.
 
 Examples
 --------
@@ -22,6 +27,8 @@ Examples
     python -m repro calibrate --regions us-east-1 eu-west-1 --nodes 4
     python -m repro map --app LU --mapper geo-distributed
     python -m repro compare --app K-means --constraint-ratio 0.4
+    python -m repro robustness --app LU --processes 32 --sites 4 \
+        --checkpoint sweep.json --resume
 """
 
 from __future__ import annotations
@@ -97,6 +104,60 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "compare", parents=[app_common], help="compare all four algorithms"
+    )
+
+    p_rob = sub.add_parser(
+        "robustness",
+        help="evaluate mappers against the standard fault suite",
+    )
+    p_rob.add_argument("--app", default="LU", choices=list(PAPER_APPS))
+    p_rob.add_argument(
+        "--processes", type=int, default=32, help="number of processes (N)"
+    )
+    p_rob.add_argument(
+        "--sites", type=int, default=4, help="number of sites (M)"
+    )
+    p_rob.add_argument(
+        "--slack",
+        type=float,
+        default=2.0,
+        help="capacity headroom: nodes per site = slack * N / M",
+    )
+    p_rob.add_argument("--constraint-ratio", type=float, default=0.2)
+    p_rob.add_argument("--seed", type=int, default=0)
+    p_rob.add_argument(
+        "--faults",
+        nargs="+",
+        default=None,
+        help="subset of fault-suite names to run (default: all)",
+    )
+    p_rob.add_argument(
+        "--mpipp", action="store_true", help="also evaluate the MPIPP baseline"
+    )
+    p_rob.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSON checkpoint file (written atomically after every cell)",
+    )
+    p_rob.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in --checkpoint",
+    )
+    p_rob.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="run only the first K cells (for smoke tests)",
+    )
+    p_rob.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="per-cell timeout in seconds (default: none)",
+    )
+    p_rob.add_argument(
+        "--retries", type=int, default=1, help="retries per failed cell"
     )
     return parser
 
@@ -182,11 +243,73 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_robustness(args) -> int:
+    from .exp.robustness import (
+        RobustnessCell,
+        robustness_scenario,
+        robustness_scenarios,
+        robustness_table,
+    )
+    from .exp.runner import ResilientRunner
+    from .faults import standard_fault_suite
+
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    scenario = robustness_scenario(
+        args.app,
+        args.processes,
+        num_sites=args.sites,
+        slack=args.slack,
+        constraint_ratio=args.constraint_ratio,
+        seed=args.seed,
+    )
+    suite = standard_fault_suite(scenario.problem.num_sites)
+    if args.faults:
+        unknown = sorted(set(args.faults) - set(suite))
+        if unknown:
+            print(
+                f"error: unknown faults {unknown}; available: {sorted(suite)}",
+                file=sys.stderr,
+            )
+            return 2
+        suite = {name: suite[name] for name in args.faults}
+    mappers = default_mappers(include_mpipp=args.mpipp)
+    thunks = robustness_scenarios(
+        scenario.problem, mappers, suite=suite, seed=args.seed
+    )
+    if args.limit is not None:
+        thunks = dict(list(thunks.items())[: args.limit])
+    runner = ResilientRunner(
+        timeout_s=args.timeout_s,
+        max_retries=args.retries,
+        checkpoint=args.checkpoint,
+    )
+    outcomes = runner.run(thunks, resume=args.resume)
+    cells = [
+        RobustnessCell(**o.result)
+        for o in outcomes.values()
+        if o.ok and o.result is not None
+    ]
+    if cells:
+        print(robustness_table(cells))
+    failures = [o for o in outcomes.values() if not o.ok]
+    for o in failures:
+        print(f"FAILED {o.key}: {o.error}")
+    replayed = sum(o.from_checkpoint for o in outcomes.values())
+    print(
+        f"robustness: {len(outcomes)} cells, {replayed} from checkpoint, "
+        f"{len(failures)} failed"
+    )
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "regions": _cmd_regions,
     "calibrate": _cmd_calibrate,
     "map": _cmd_map,
     "compare": _cmd_compare,
+    "robustness": _cmd_robustness,
 }
 
 

@@ -4,6 +4,7 @@ Geo-distributed mapping algorithm.
 
 from .constraints import (
     constrained_sites_available,
+    ensure_feasible,
     feasible_assignment_exists,
     merge_constraints,
     random_constraints,
@@ -35,10 +36,12 @@ from .mapping import (
     register_mapper,
     validate_assignment,
 )
-from .problem import UNCONSTRAINED, MappingProblem
+from .problem import UNCONSTRAINED, InfeasibleProblemError, MappingProblem
+from .repair import UNPLACED, IncrementalRepairMapper, RepairResult, repair_mapping
 
 __all__ = [
     "constrained_sites_available",
+    "ensure_feasible",
     "feasible_assignment_exists",
     "merge_constraints",
     "random_constraints",
@@ -58,6 +61,11 @@ __all__ = [
     "register_mapper",
     "validate_assignment",
     "UNCONSTRAINED",
+    "UNPLACED",
+    "InfeasibleProblemError",
+    "IncrementalRepairMapper",
+    "RepairResult",
+    "repair_mapping",
     "MappingProblem",
     "LOGGP_PROBE_SIZES",
     "LogGPModel",

@@ -13,13 +13,14 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import as_rng, check_fraction, check_vector
-from .problem import UNCONSTRAINED, MappingProblem
+from .problem import UNCONSTRAINED, InfeasibleProblemError, MappingProblem
 
 __all__ = [
     "random_constraints",
     "constrained_sites_available",
     "merge_constraints",
     "feasible_assignment_exists",
+    "ensure_feasible",
 ]
 
 
@@ -105,6 +106,39 @@ def merge_constraints(primary: np.ndarray, secondary: np.ndarray) -> np.ndarray:
     take = out == UNCONSTRAINED
     out[take] = b[take]
     return out
+
+
+def ensure_feasible(problem: MappingProblem, *, context: str = "") -> None:
+    """Raise :class:`InfeasibleProblemError` unless an assignment can exist.
+
+    Mappers call this up front so infeasible capacity (``sum(I) < N``, or
+    not enough room left once the constraint vector's pins are debited)
+    fails with a message naming the deficit instead of an opaque fill
+    error deep inside the greedy walk.  ``context`` prefixes the message
+    (e.g. the mapper's name).
+    """
+    prefix = f"{context}: " if context else ""
+    n = problem.num_processes
+    total = int(problem.capacities.sum())
+    if total < n:
+        raise InfeasibleProblemError(
+            f"{prefix}total capacity {total} cannot host {n} processes "
+            f"(deficit: {n - total} nodes)"
+        )
+    try:
+        remaining = constrained_sites_available(
+            problem.constraints, problem.capacities
+        )
+    except ValueError as exc:
+        raise InfeasibleProblemError(f"{prefix}{exc}") from None
+    free = int(np.count_nonzero(problem.constraints == UNCONSTRAINED))
+    slack = int(remaining.sum())
+    if slack < free:
+        raise InfeasibleProblemError(
+            f"{prefix}after honoring {n - free} pinned processes, remaining "
+            f"capacity {slack} cannot host the {free} free processes "
+            f"(deficit: {free - slack} nodes)"
+        )
 
 
 def feasible_assignment_exists(problem: MappingProblem) -> bool:

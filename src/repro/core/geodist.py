@@ -35,7 +35,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .._validation import check_positive_int
-from .constraints import constrained_sites_available
+from .constraints import constrained_sites_available, ensure_feasible
 from .cost import total_cost
 from .grouping import SiteGroup, group_sites
 from .mapping import Mapper, register_mapper
@@ -258,6 +258,7 @@ class GeoDistributedMapper(Mapper):
     # ----------------------------------------------------------------- solve
 
     def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+        ensure_feasible(problem, context=self.name)
         if problem.coordinates is None:
             # Without coordinates, fall back to a single all-sites group:
             # the algorithm still enumerates nothing but greedily fills

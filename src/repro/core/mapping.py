@@ -148,8 +148,10 @@ class Mapper(abc.ABC):
     ) -> Mapping:
         """Solve ``problem`` and return a validated, costed :class:`Mapping`."""
         from .._validation import as_rng
+        from .constraints import ensure_feasible
         from .cost import total_cost
 
+        ensure_feasible(problem, context=self.name)
         rng = as_rng(seed)
         start = time.perf_counter()
         assignment = self._solve(problem, rng)

@@ -28,10 +28,20 @@ from .._validation import check_square_matrix, check_vector
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..cloud.topology import CloudTopology
 
-__all__ = ["MappingProblem", "UNCONSTRAINED"]
+__all__ = ["MappingProblem", "InfeasibleProblemError", "UNCONSTRAINED"]
 
 #: Sentinel constraint value meaning "this process may map anywhere".
 UNCONSTRAINED = -1
+
+
+class InfeasibleProblemError(ValueError):
+    """No assignment can satisfy the problem's capacity/constraint system.
+
+    Raised with a message naming the concrete deficit (how many more
+    nodes the deployment would need) so that fault-degraded deployments
+    fail actionably instead of surfacing as opaque shape or fill errors
+    deep inside a mapper.
+    """
 
 
 def _check_comm_matrix(mat, name: str, size: int | None):
@@ -128,13 +138,18 @@ class MappingProblem:
             object.__setattr__(self, "coordinates", coords)
 
         if caps.sum() < n:
-            raise ValueError(
-                f"total capacity {caps.sum()} cannot host {n} processes"
+            raise InfeasibleProblemError(
+                f"total capacity {caps.sum()} cannot host {n} processes "
+                f"(deficit: {n - int(caps.sum())} nodes)"
             )
         pinned = np.bincount(cons[cons != UNCONSTRAINED], minlength=m)
         if np.any(pinned > caps):
             over = np.flatnonzero(pinned > caps)
-            raise ValueError(f"constraints overfill sites {over.tolist()}")
+            excess = int((pinned - caps)[over].sum())
+            raise InfeasibleProblemError(
+                f"constraints overfill sites {over.tolist()} "
+                f"(deficit: {excess} nodes)"
+            )
 
         # Freeze what can be frozen (sparse matrices have no writeable flag).
         for name in ("LT", "BT", "capacities", "constraints"):

@@ -2,11 +2,25 @@
 runner, improvement statistics, and report formatting.
 """
 
+from .checkpoint import CheckpointStore
 from .heatmap import ascii_heatmap
 from .improvement import Summary, baseline_reference, improvement_pct, summarize
 from .report import format_matrix_summary, format_series, format_table
+from .robustness import (
+    RobustnessCell,
+    evaluate_robustness,
+    robustness_scenarios,
+    robustness_table,
+)
 from .sweeps import METRICS, SweepResult, sweep_improvements
-from .runner import RunResult, build_problem, run_comparison, simulate_mapping
+from .runner import (
+    ResilientRunner,
+    RunResult,
+    ScenarioOutcome,
+    build_problem,
+    run_comparison,
+    simulate_mapping,
+)
 from .scenarios import (
     OVERHEAD_SCALES,
     PAPER_CONSTRAINT_RATIO,
@@ -18,6 +32,13 @@ from .scenarios import (
 )
 
 __all__ = [
+    "CheckpointStore",
+    "ResilientRunner",
+    "ScenarioOutcome",
+    "RobustnessCell",
+    "evaluate_robustness",
+    "robustness_scenarios",
+    "robustness_table",
     "ascii_heatmap",
     "METRICS",
     "SweepResult",

@@ -1,0 +1,131 @@
+"""Crash-safe JSON checkpointing for long experiment sweeps.
+
+A sweep over many (scenario x mapper) cells can die halfway — a mapper
+crashes, a simulated site outage deadlocks a run, the machine goes away.
+:class:`CheckpointStore` persists one JSON row per finished cell with an
+atomic write (temp file + :func:`os.replace`) after every record, so a
+killed sweep loses at most the cell in flight and ``--resume`` picks up
+exactly where it stopped.
+
+The store is deliberately forgiving on the read side: a missing file is
+an empty store, and a corrupt or truncated file (the crash happened
+mid-write on a filesystem without atomic rename, or someone edited it)
+is treated as empty rather than fatal — the sweep re-runs and rewrites
+it.  Write-side atomicity makes that case rare; read-side tolerance
+makes it harmless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CheckpointStore"]
+
+#: Schema marker written into every checkpoint file.
+_FORMAT = "repro-checkpoint-v1"
+
+
+class CheckpointStore:
+    """A dict of JSON rows keyed by scenario id, atomically persisted.
+
+    Parameters
+    ----------
+    path:
+        The checkpoint file.  Parent directories are created on the
+        first write.  The file holds ``{"format": ..., "rows": {...}}``.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._rows: dict[str, dict[str, Any]] = self._read()
+
+    # ---------------------------------------------------------------- reads
+
+    def _read(self) -> dict[str, dict[str, Any]]:
+        try:
+            raw = self.path.read_text()
+        except (FileNotFoundError, OSError):
+            return {}
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError:
+            return {}
+        if not isinstance(data, dict):
+            return {}
+        rows = data.get("rows", {})
+        if not isinstance(rows, dict):
+            return {}
+        return {
+            str(k): v for k, v in rows.items() if isinstance(v, dict)
+        }
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored row for ``key``, or ``None``."""
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def rows(self) -> dict[str, dict[str, Any]]:
+        """A copy of every stored row, keyed by scenario id."""
+        return {k: dict(v) for k, v in self._rows.items()}
+
+    def completed_keys(self) -> set[str]:
+        """Keys whose stored row finished successfully (``status == "ok"``).
+
+        Failure and timeout rows are *not* completed: a resumed sweep
+        retries them — that is the point of resuming.
+        """
+        return {
+            k for k, v in self._rows.items() if v.get("status") == "ok"
+        }
+
+    # --------------------------------------------------------------- writes
+
+    def record(self, key: str, row: dict[str, Any]) -> None:
+        """Store ``row`` under ``key`` and atomically rewrite the file.
+
+        The row must be JSON-serializable; serialization happens before
+        any byte hits disk, so a non-serializable row cannot corrupt an
+        existing checkpoint.
+        """
+        if not isinstance(row, dict):
+            raise TypeError(f"checkpoint row must be a dict, got {type(row)}")
+        pending = dict(self._rows)
+        pending[str(key)] = dict(row)
+        payload = json.dumps(
+            {"format": _FORMAT, "rows": pending}, indent=2, sort_keys=True
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._rows = pending
+
+    def clear(self) -> None:
+        """Forget all rows and delete the file if present."""
+        self._rows = {}
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

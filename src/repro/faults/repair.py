@@ -1,0 +1,102 @@
+"""Glue between fault degradation and the incremental repair mapper.
+
+:func:`repair_after_faults` is the one-call path a deployment (or the
+robustness harness) takes when a fault fires: degrade the problem at
+the fault time, mark the processes the faults displaced, run the
+core :class:`~repro.core.repair.IncrementalRepairMapper`, and translate
+the repaired assignment back into original site indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cost import total_cost
+from ..core.mapping import validate_assignment
+from ..core.problem import MappingProblem
+from ..core.repair import IncrementalRepairMapper, RepairResult
+from .degrade import DegradedProblem, degrade_problem
+from .schedule import FaultSchedule
+
+__all__ = ["FaultRepairOutcome", "repair_after_faults"]
+
+
+@dataclass(frozen=True)
+class FaultRepairOutcome:
+    """Everything a caller needs to judge one fault repair.
+
+    Attributes
+    ----------
+    degraded:
+        The degradation bookkeeping (reduced problem + index maps).
+    result:
+        The raw repair result on the *reduced* problem.
+    assignment:
+        The repaired assignment in **original** site indices (dead sites
+        unused), feasible for the degraded capacities.
+    migrated:
+        Original process indices whose site changed vs the pre-fault
+        assignment.
+    old_cost:
+        Alpha-beta cost of the pre-fault assignment on the healthy
+        problem.
+    new_cost:
+        Alpha-beta cost of the repaired assignment on the degraded
+        problem (the cost the degraded deployment actually pays).
+    """
+
+    degraded: DegradedProblem
+    result: RepairResult
+    assignment: np.ndarray
+    migrated: np.ndarray
+    old_cost: float
+    new_cost: float
+
+    @property
+    def num_migrated(self) -> int:
+        return int(self.migrated.shape[0])
+
+
+def repair_after_faults(
+    problem: MappingProblem,
+    assignment: np.ndarray,
+    schedule: FaultSchedule,
+    *,
+    at_time: float = 0.0,
+    on_lost_pin: str = "unpin",
+    refine_rounds: int = 2,
+    extra_moves: int | None = None,
+) -> FaultRepairOutcome:
+    """Repair ``assignment`` after ``schedule``'s faults hit at ``at_time``.
+
+    Only the processes the faults displace migrate — plus, to pull the
+    repaired cost close to a from-scratch re-map, an ``extra_moves``
+    budget of kept processes may relocate when doing so strictly lowers
+    the cost.  The default budget is 10% of N (pass 0 to forbid any
+    migration beyond the displaced set).  The default
+    ``on_lost_pin="unpin"`` releases pins that became impossible (their
+    site died) — a process must live somewhere; pass ``"error"`` to make
+    impossible pins fatal instead.
+    """
+    P_old = validate_assignment(problem, assignment)
+    if extra_moves is None:
+        extra_moves = problem.num_processes // 10
+    degraded = degrade_problem(
+        problem, schedule, at_time, on_lost_pin=on_lost_pin
+    )
+    partial = degraded.from_original(P_old)
+    result = IncrementalRepairMapper(
+        refine_rounds=refine_rounds, extra_moves=extra_moves
+    ).repair(degraded.problem, partial)
+    repaired = degraded.to_original(result.mapping.assignment)
+    migrated = np.flatnonzero(repaired != P_old)
+    return FaultRepairOutcome(
+        degraded=degraded,
+        result=result,
+        assignment=repaired,
+        migrated=migrated,
+        old_cost=total_cost(problem, P_old),
+        new_cost=result.mapping.cost,
+    )

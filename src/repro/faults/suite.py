@@ -1,0 +1,83 @@
+"""The standard fault suite driving the robustness evaluation harness.
+
+A curated, deterministic set of named fault schedules that every mapper
+is evaluated against (cost degradation, repair quality, migration
+volume).  Sites and links are chosen by simple deterministic rules of
+the topology size — *not* sampled — so the suite is identical across
+runs and machines; :func:`repro.faults.schedule.random_schedule` exists
+for seeded randomized sweeps on top.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_positive_int
+from .events import (
+    FlappingLink,
+    LatencySpike,
+    LinkDegradation,
+    SiteCapacityLoss,
+    SiteOutage,
+)
+from .schedule import FaultSchedule
+
+__all__ = ["standard_fault_suite"]
+
+
+def standard_fault_suite(
+    num_sites: int,
+    *,
+    at_time: float = 1.0,
+) -> dict[str, FaultSchedule]:
+    """Named fault schedules scaled to an ``num_sites``-site topology.
+
+    The suite (all events start at ``at_time`` and persist, so degrading
+    and repairing "after the fault" is well defined):
+
+    * ``outage``        — the last site goes dark permanently;
+    * ``brownout``      — the 0 <-> last link loses 90% bandwidth, 4x latency;
+    * ``latency-spike`` — +50 ms on the 0 <-> 1 link (or 0 <-> 0 intra
+      when only one site exists — then the suite omits link events);
+    * ``capacity-loss`` — site 0 loses half its nodes;
+    * ``flapping``      — the 0 <-> last link flaps, 40% of each second
+      spent browned out.
+
+    Single-site topologies get only ``capacity-loss`` (no outage — it
+    would leave nothing alive — and no links to degrade).
+    """
+    m = check_positive_int(num_sites, "num_sites")
+    if at_time < 0:
+        raise ValueError(f"at_time must be >= 0, got {at_time}")
+    last = m - 1
+    suite: dict[str, FaultSchedule] = {}
+    if m > 1:
+        suite["outage"] = FaultSchedule(
+            events=(SiteOutage(site=last, start_s=at_time),)
+        )
+        suite["brownout"] = FaultSchedule(
+            events=(
+                LinkDegradation(
+                    src=0, dst=last, bandwidth_factor=0.1,
+                    latency_factor=4.0, start_s=at_time,
+                ),
+            )
+        )
+        suite["latency-spike"] = FaultSchedule(
+            events=(
+                LatencySpike(
+                    src=0, dst=min(1, last), extra_latency_s=0.05,
+                    start_s=at_time,
+                ),
+            )
+        )
+        suite["flapping"] = FaultSchedule(
+            events=(
+                FlappingLink(
+                    src=0, dst=last, period_s=1.0, down_fraction=0.4,
+                    start_s=at_time,
+                ),
+            )
+        )
+    suite["capacity-loss"] = FaultSchedule(
+        events=(SiteCapacityLoss(site=0, fraction=0.5, start_s=at_time),)
+    )
+    return suite

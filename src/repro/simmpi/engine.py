@@ -26,11 +26,62 @@ import numpy as np
 
 from .ops import Barrier, Compute, Operation, Recv, Send
 
-__all__ = ["RankContext", "Simulator", "SimResult", "DeadlockError", "Program"]
+__all__ = [
+    "RankContext",
+    "Simulator",
+    "SimResult",
+    "DeadlockError",
+    "RankBlockState",
+    "Program",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RankBlockState:
+    """Post-mortem of one blocked rank at deadlock time.
+
+    Attributes
+    ----------
+    rank:
+        The blocked rank.
+    reason:
+        ``"barrier"`` (waiting in a barrier) or ``"recv"`` (blocked on an
+        unmatched receive).
+    last_op:
+        ``repr`` of the last operation the engine interpreted for this
+        rank, or ``None`` if it blocked before yielding anything.
+    peer / tag:
+        For ``"recv"``, the sender rank and message tag the receive is
+        waiting on; ``None`` for barriers.
+    bytes_outstanding:
+        Bytes this rank has sent that no receiver has matched yet — the
+        traffic stuck in its outgoing channels.
+    """
+
+    rank: int
+    reason: str
+    last_op: str | None
+    peer: int | None
+    tag: int | None
+    bytes_outstanding: int
 
 
 class DeadlockError(RuntimeError):
-    """No rank can make progress but the program has not finished."""
+    """No rank can make progress but the program has not finished.
+
+    Carries the per-rank post-mortem in ``rank_states`` (a dict mapping
+    each blocked rank to its :class:`RankBlockState`), so callers can
+    diagnose mismatched sends/receives programmatically instead of
+    parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank_states: dict[int, RankBlockState] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.rank_states: dict[int, RankBlockState] = dict(rank_states or {})
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,7 +129,15 @@ class SimResult:
 
 
 class _RankState:
-    __slots__ = ("gen", "time", "finished", "waiting_channel", "in_barrier", "comm_wait")
+    __slots__ = (
+        "gen",
+        "time",
+        "finished",
+        "waiting_channel",
+        "in_barrier",
+        "comm_wait",
+        "last_op",
+    )
 
     def __init__(self, gen: Generator[Operation, None, None]) -> None:
         self.gen = gen
@@ -87,6 +146,9 @@ class _RankState:
         self.waiting_channel: tuple[int, int, int] | None = None
         self.in_barrier = False
         self.comm_wait = 0.0
+        # The operation object last interpreted for this rank — kept for
+        # the deadlock post-mortem (formatting deferred to failure time).
+        self.last_op: Operation | None = None
 
 
 class Simulator:
@@ -176,6 +238,7 @@ class Simulator:
                 except StopIteration:
                     st.finished = True
                     return
+                st.last_op = op
 
                 if isinstance(op, Compute):
                     st.time += op.seconds * self.compute_scale
@@ -280,13 +343,42 @@ class Simulator:
 
         unfinished = [r for r, s in enumerate(states) if not s.finished]
         if unfinished:
-            blocked = {
-                r: ("barrier" if states[r].in_barrier else states[r].waiting_channel)
-                for r in unfinished
-            }
+            # Bytes each rank sent that no receive ever matched.
+            outstanding: dict[int, int] = {}
+            for (src, _dst, _tag), queue in channels.items():
+                outstanding[src] = outstanding.get(src, 0) + sum(
+                    nbytes for _, nbytes in queue
+                )
+            rank_states: dict[int, RankBlockState] = {}
+            for r in unfinished:
+                st = states[r]
+                if st.in_barrier:
+                    reason, peer, tag = "barrier", None, None
+                else:
+                    reason = "recv"
+                    key = st.waiting_channel
+                    peer = key[0] if key is not None else None
+                    tag = key[2] if key is not None else None
+                rank_states[r] = RankBlockState(
+                    rank=r,
+                    reason=reason,
+                    last_op=repr(st.last_op) if st.last_op is not None else None,
+                    peer=peer,
+                    tag=tag,
+                    bytes_outstanding=outstanding.get(r, 0),
+                )
+            detail = "; ".join(
+                (
+                    f"rank {s.rank}: in barrier"
+                    if s.reason == "barrier"
+                    else f"rank {s.rank}: recv from {s.peer} tag {s.tag}"
+                )
+                + f", last op {s.last_op}, {s.bytes_outstanding} bytes unmatched"
+                for s in list(rank_states.values())[:8]
+            )
             raise DeadlockError(
-                f"{len(unfinished)} ranks cannot progress; blocked on: "
-                f"{dict(list(blocked.items())[:8])}"
+                f"{len(unfinished)} ranks cannot progress; blocked on: {detail}",
+                rank_states,
             )
 
         rank_times = np.array([s.time for s in states])

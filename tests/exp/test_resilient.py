@@ -1,0 +1,155 @@
+"""The resilient runner and its checkpoint store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exp import CheckpointStore, ResilientRunner
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CheckpointStore(path)
+        store.record("a", {"status": "ok", "result": {"x": 1}})
+        store.record("b", {"status": "failed", "error": "boom"})
+        reloaded = CheckpointStore(path)
+        assert reloaded.get("a") == {"status": "ok", "result": {"x": 1}}
+        assert reloaded.completed_keys() == {"a"}
+        assert len(reloaded) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = CheckpointStore(tmp_path / "nope.json")
+        assert len(store) == 0
+        assert store.get("x") is None
+
+    def test_corrupt_file_tolerated(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text('{"format": "repro-checkpoint-v1", "rows": {"a"')
+        store = CheckpointStore(path)
+        assert len(store) == 0
+        store.record("a", {"status": "ok"})
+        assert CheckpointStore(path).completed_keys() == {"a"}
+
+    def test_non_dict_rows_dropped(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"rows": {"a": [1, 2], "b": {"status": "ok"}}}))
+        store = CheckpointStore(path)
+        assert store.completed_keys() == {"b"}
+
+    def test_atomic_write_no_temp_left(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CheckpointStore(path)
+        store.record("a", {"status": "ok"})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert json.loads(path.read_text())["format"] == "repro-checkpoint-v1"
+
+    def test_unserializable_row_leaves_file_intact(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CheckpointStore(path)
+        store.record("a", {"status": "ok"})
+        with pytest.raises(TypeError):
+            store.record("b", {"status": object()})
+        assert CheckpointStore(path).rows() == {"a": {"status": "ok"}}
+
+
+class TestResilientRunner:
+    def test_success_and_failure_rows(self):
+        sleeps: list[float] = []
+        runner = ResilientRunner(
+            max_retries=2, backoff_base_s=0.01, sleep=sleeps.append
+        )
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        out = runner.run({"good": lambda: {"v": 1}, "bad": boom})
+        assert out["good"].ok and out["good"].result == {"v": 1}
+        assert out["good"].attempts == 1
+        assert out["bad"].status == "failed"
+        assert out["bad"].attempts == 3
+        assert "kaput" in out["bad"].error
+        # Deterministic exponential backoff: base, base*factor.
+        assert sleeps == pytest.approx([0.01, 0.02])
+
+    def test_retry_heals_flaky_scenario(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError("transient")
+            return {"v": 42}
+
+        runner = ResilientRunner(
+            max_retries=2, backoff_base_s=0.0, sleep=lambda s: None
+        )
+        out = runner.run({"flaky": flaky})
+        assert out["flaky"].ok
+        assert out["flaky"].attempts == 3
+
+    def test_timeout_becomes_row(self):
+        import time
+
+        runner = ResilientRunner(
+            timeout_s=0.1, max_retries=0, sleep=lambda s: None
+        )
+        out = runner.run({"hang": lambda: time.sleep(10) or {}})
+        assert out["hang"].status == "timeout"
+        assert "budget" in out["hang"].error
+
+    def test_checkpoint_resume_skips_completed(self, tmp_path):
+        path = tmp_path / "ck.json"
+        calls: list[str] = []
+
+        def make(key):
+            def thunk():
+                calls.append(key)
+                return {"key": key}
+
+            return thunk
+
+        scenarios = {k: make(k) for k in ("a", "b", "c")}
+        first = ResilientRunner(checkpoint=path)
+        first.run({k: scenarios[k] for k in ("a", "b")})
+        assert calls == ["a", "b"]
+
+        second = ResilientRunner(checkpoint=path)
+        out = second.run(scenarios, resume=True)
+        assert calls == ["a", "b", "c"]  # a and b not re-executed
+        assert out["a"].from_checkpoint and out["a"].result == {"key": "a"}
+        assert not out["c"].from_checkpoint
+
+    def test_resume_retries_failures(self, tmp_path):
+        path = tmp_path / "ck.json"
+        state = {"healed": False}
+
+        def sometimes():
+            if not state["healed"]:
+                raise RuntimeError("down")
+            return {"v": 1}
+
+        runner = ResilientRunner(
+            checkpoint=path, max_retries=0, sleep=lambda s: None
+        )
+        out = runner.run({"s": sometimes})
+        assert out["s"].status == "failed"
+
+        state["healed"] = True
+        out = ResilientRunner(checkpoint=path, max_retries=0).run(
+            {"s": sometimes}, resume=True
+        )
+        assert out["s"].ok and not out["s"].from_checkpoint
+
+    def test_resume_without_checkpoint_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            ResilientRunner().run({}, resume=True)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ResilientRunner(timeout_s=0)
+        with pytest.raises(ValueError):
+            ResilientRunner(max_retries=-1)

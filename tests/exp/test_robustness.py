@@ -1,0 +1,104 @@
+"""The robustness evaluation harness and its CLI surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedyMapper
+from repro.core import GeoDistributedMapper
+from repro.exp import evaluate_robustness, robustness_scenarios, robustness_table
+from repro.exp.robustness import robustness_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return robustness_scenario(
+        "LU", 16, num_sites=4, slack=2.0, seed=0, iterations=2
+    )
+
+
+@pytest.fixture(scope="module")
+def mappers():
+    return {"Greedy": GreedyMapper(), "Geo": GeoDistributedMapper()}
+
+
+class TestRobustnessHarness:
+    def test_full_grid(self, scenario, mappers):
+        cells = evaluate_robustness(scenario.problem, mappers, seed=0)
+        assert len(cells) == 5 * len(mappers)  # 5 faults x mappers
+        assert all(c.feasible for c in cells)
+        n = scenario.problem.num_processes
+        for c in cells:
+            assert np.isfinite(c.repaired_cost)
+            assert c.num_migrated <= c.num_displaced + n // 10
+
+    def test_scenario_has_slack(self, scenario):
+        caps = scenario.problem.capacities
+        n = scenario.problem.num_processes
+        assert caps.sum() - caps.max() >= n  # any single outage survivable
+
+    def test_infeasible_fault_reported_not_raised(self, mappers):
+        # Zero slack: an outage cell must come back infeasible, not crash.
+        tight = robustness_scenario(
+            "LU", 16, num_sites=4, slack=1.0, seed=0, iterations=2
+        )
+        cells = evaluate_robustness(tight.problem, mappers, seed=0)
+        outage = [c for c in cells if c.fault == "outage"]
+        assert outage and all(not c.feasible for c in outage)
+        assert all("deficit" in c.error for c in outage)
+
+    def test_thunks_match_inline(self, scenario, mappers):
+        cells = evaluate_robustness(scenario.problem, mappers, seed=0)
+        thunks = robustness_scenarios(scenario.problem, mappers, seed=0)
+        assert set(thunks) == {f"{c.fault}/{c.mapper}" for c in cells}
+        # A thunk reproduces the inline cell exactly (order independence).
+        probe = cells[3]
+        row = thunks[f"{probe.fault}/{probe.mapper}"]()
+        assert row["repaired_cost"] == probe.repaired_cost
+        assert row["num_migrated"] == probe.num_migrated
+
+    def test_table_renders(self, scenario, mappers):
+        cells = evaluate_robustness(scenario.problem, mappers, seed=0)
+        text = robustness_table(cells)
+        assert "fault" in text and "ratio" in text
+        assert "outage" in text
+
+    def test_bad_scenario_parameters(self):
+        with pytest.raises(ValueError, match="slack"):
+            robustness_scenario("LU", 16, slack=0.5)
+        with pytest.raises(ValueError, match="num_sites"):
+            robustness_scenario("LU", 16, num_sites=99)
+
+
+class TestRobustnessCli:
+    def test_cli_limit_then_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ck = str(tmp_path / "sweep.json")
+        base = [
+            "robustness", "--app", "LU", "--processes", "16",
+            "--sites", "4", "--faults", "outage", "brownout",
+            "--checkpoint", ck,
+        ]
+        assert main(base + ["--limit", "2"]) == 0
+        first = capsys.readouterr().out
+        assert "2 cells, 0 from checkpoint" in first
+
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "2 from checkpoint" in second
+        assert "0 failed" in second
+
+    def test_cli_rejects_unknown_fault(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["robustness", "--processes", "16", "--faults", "earthquake"]
+        ) == 2
+        assert "unknown faults" in capsys.readouterr().err
+
+    def test_cli_resume_requires_checkpoint(self, capsys):
+        from repro.cli import main
+
+        assert main(["robustness", "--resume"]) == 2

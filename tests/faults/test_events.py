@@ -1,0 +1,127 @@
+"""Fault event semantics and schedule evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultSchedule,
+    FlappingLink,
+    LatencySpike,
+    LinkDegradation,
+    SiteCapacityLoss,
+    SiteOutage,
+    event_from_dict,
+    random_schedule,
+)
+
+
+class TestEvents:
+    def test_activity_window(self):
+        ev = SiteOutage(site=1, start_s=2.0, duration_s=3.0)
+        assert not ev.active_at(1.9)
+        assert ev.active_at(2.0)
+        assert ev.active_at(4.9)
+        assert not ev.active_at(5.0)
+
+    def test_permanent_event(self):
+        ev = SiteOutage(site=0, start_s=1.0)
+        assert ev.end_s == float("inf")
+        assert ev.active_at(1e9)
+
+    def test_capacity_loss_rounding(self):
+        ev = SiteCapacityLoss(site=0, fraction=0.5)
+        assert ev.degraded_capacity(16) == 8
+        assert SiteCapacityLoss(site=0, fraction=1.0).degraded_capacity(7) == 0
+
+    def test_link_symmetry(self):
+        ev = LinkDegradation(src=0, dst=2, bandwidth_factor=0.5)
+        assert ev.affects(0, 2) and ev.affects(2, 0)
+        one_way = LinkDegradation(src=0, dst=2, bandwidth_factor=0.5, symmetric=False)
+        assert one_way.affects(0, 2) and not one_way.affects(2, 0)
+
+    def test_flapping_phase(self):
+        ev = FlappingLink(src=0, dst=1, period_s=1.0, down_fraction=0.4, start_s=0.0)
+        assert ev.down_at(0.1)
+        assert not ev.down_at(0.5)
+        assert ev.down_at(1.2)  # periodic
+
+    def test_dict_round_trip(self):
+        events = [
+            SiteOutage(site=3, start_s=1.0, duration_s=2.0),
+            SiteCapacityLoss(site=0, fraction=0.25),
+            LinkDegradation(src=0, dst=1, bandwidth_factor=0.1),
+            LatencySpike(src=1, dst=2, extra_latency_s=0.05),
+            FlappingLink(src=0, dst=3, period_s=2.0, down_fraction=0.3),
+        ]
+        for ev in events:
+            clone = event_from_dict(ev.to_dict())
+            assert clone == ev
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            event_from_dict({"kind": "meteor-strike"})
+
+
+class TestSchedule:
+    def test_json_round_trip(self, tmp_path):
+        sched = FaultSchedule(
+            events=(
+                SiteOutage(site=1, start_s=5.0),
+                LinkDegradation(src=0, dst=1, bandwidth_factor=0.2, start_s=1.0),
+            )
+        )
+        path = tmp_path / "sched.json"
+        sched.save(path)
+        loaded = FaultSchedule.load(path)
+        assert loaded == sched
+
+    def test_capacities_and_down(self):
+        caps = np.array([8, 8, 8], dtype=np.int64)
+        sched = FaultSchedule(
+            events=(
+                SiteOutage(site=2, start_s=1.0),
+                SiteCapacityLoss(site=0, fraction=0.5, start_s=1.0),
+            )
+        )
+        before = sched.capacities_at(caps, 0.5)
+        assert before.tolist() == [8, 8, 8]
+        after = sched.capacities_at(caps, 2.0)
+        assert after[0] == 4
+        assert sched.sites_down(3, 2.0).tolist() == [False, False, True]
+
+    def test_site_up_from(self):
+        sched = FaultSchedule(
+            events=(SiteOutage(site=0, start_s=1.0, duration_s=2.0),)
+        )
+        assert sched.site_up_from(0, 0.5) == 0.5
+        assert sched.site_up_from(0, 1.5) == 3.0
+        permanent = FaultSchedule(events=(SiteOutage(site=0, start_s=1.0),))
+        assert permanent.site_up_from(0, 2.0) == float("inf")
+
+    def test_link_factors_compose(self):
+        sched = FaultSchedule(
+            events=(
+                LinkDegradation(
+                    src=0, dst=1, bandwidth_factor=0.5, latency_factor=2.0
+                ),
+                LatencySpike(src=0, dst=1, extra_latency_s=0.1),
+            )
+        )
+        lat_mult, lat_add, bw_mult = sched.link_factors(0, 1, 1.0)
+        assert lat_mult == pytest.approx(2.0)
+        assert lat_add == pytest.approx(0.1)
+        assert bw_mult == pytest.approx(0.5)
+
+    def test_validate_sites(self):
+        sched = FaultSchedule(events=(SiteOutage(site=5, start_s=0.0),))
+        with pytest.raises(ValueError, match="site"):
+            sched.validate_sites(4)
+
+    def test_random_schedule_deterministic(self):
+        a = random_schedule(6, seed=42, num_events=5)
+        b = random_schedule(6, seed=42, num_events=5)
+        assert a == b
+        c = random_schedule(6, seed=43, num_events=5)
+        assert a != c
