@@ -1,0 +1,93 @@
+"""Perf bench: observability overhead on the geodist hot path.
+
+Measures GeoDistributedMapper at N=512 (m=16, kappa=4) three ways:
+
+* ``geodist_obs_off``   — default ambient recorder (the no-op fast path);
+* ``geodist_obs_on``    — under a live :class:`~repro.obs.SpanRecorder`;
+* the relative overhead of each against the other.
+
+The acceptance bar for the observability layer is that the *disabled*
+path costs nothing measurable (< 2% vs the same code before
+instrumentation, tracked by ``bench_perf_geodist``'s baseline), and that
+the *enabled* path stays cheap enough to trace real experiments — the
+per-order spans are the only recording inside the solve loop.
+
+Timings land in ``BENCH_perf.json`` (schema ``{bench, n, m, seconds,
+cost}``).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit, median_time, update_bench_json  # noqa: E402
+from bench_perf_core import make_bench_problem  # noqa: E402
+
+from repro.core import GeoDistributedMapper  # noqa: E402
+from repro.obs import SpanRecorder, using_recorder  # noqa: E402
+
+
+def bench_obs(n: int, quick: bool) -> list[dict]:
+    problem = make_bench_problem(n, m=16, kappa=4, seed=7)
+    mapper = GeoDistributedMapper(kappa=4, recursive=False, memoize=True)
+    repeats = 2 if quick else 5
+
+    t_off, m_off = median_time(
+        lambda: mapper.map(problem, seed=0), warmup=1, repeats=repeats
+    )
+
+    def mapped_recording():
+        with using_recorder(SpanRecorder()):
+            return mapper.map(problem, seed=0)
+
+    t_on, m_on = median_time(mapped_recording, warmup=1, repeats=repeats)
+
+    # Recording must not change the answer.
+    np.testing.assert_array_equal(m_off.assignment, m_on.assignment)
+    np.testing.assert_allclose(m_off.cost, m_on.cost, rtol=1e-12)
+
+    m = problem.num_sites
+    return [
+        {"bench": "geodist_obs_off", "n": n, "m": m, "seconds": t_off, "cost": m_off.cost},
+        {"bench": "geodist_obs_on", "n": n, "m": m, "seconds": t_on, "cost": m_on.cost},
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: small size, fewer repeats"
+    )
+    args = parser.parse_args(argv)
+
+    n = 128 if args.quick else 512
+    records = bench_obs(n, args.quick)
+    t_off = records[0]["seconds"]
+    t_on = records[1]["seconds"]
+    overhead_pct = (t_on / t_off - 1.0) * 100.0
+
+    lines = [
+        "bench                 n      m    seconds",
+        *(
+            f"{r['bench']:<20} {r['n']:>5} {r['m']:>6} {r['seconds']:>10.6f}"
+            for r in records
+        ),
+        f"recording overhead: {overhead_pct:+.1f}% vs the no-op path",
+    ]
+    path = update_bench_json(records)
+    emit("bench_obs", "\n".join(lines))
+    print(f"[BENCH_perf.json updated at {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

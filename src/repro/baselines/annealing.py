@@ -91,14 +91,15 @@ class SimulatedAnnealingMapper(Mapper):
 
     def _anneal(
         self, problem: MappingProblem, rng: np.random.Generator
-    ) -> tuple[np.ndarray, float]:
+    ) -> tuple[np.ndarray, float, dict]:
         ev = CostEvaluator(problem)
         P = random_assignment(problem, rng)
         cost = total_cost(problem, P)
         movable = problem.constraints == UNCONSTRAINED
         mv = np.flatnonzero(movable)
+        stats = {"proposals": 0, "accepted_moves": 0, "accepted_swaps": 0}
         if mv.size < 2:
-            return P, cost
+            return P, cost, stats
 
         t0 = self._calibrate_t0(ev, P, movable, rng)
         t_end = t0 * self.final_temperature_ratio
@@ -120,43 +121,65 @@ class SimulatedAnnealingMapper(Mapper):
                 if s == P[i]:
                     temp *= decay
                     continue
+                stats["proposals"] += 1
                 delta = ev.move_delta(P, i, s)
                 if delta <= 0 or rng.random() < np.exp(-delta / max(temp, 1e-300)):
                     loads[P[i]] -= 1
                     loads[s] += 1
                     P[i] = s
                     cost += delta
+                    stats["accepted_moves"] += 1
             else:
                 i, j = rng.choice(mv, size=2, replace=False)
                 if P[i] == P[j]:
                     temp *= decay
                     continue
+                stats["proposals"] += 1
                 delta = ev.swap_delta(P, int(i), int(j))
                 if delta <= 0 or rng.random() < np.exp(-delta / max(temp, 1e-300)):
                     P[i], P[j] = P[j], P[i]
                     cost += delta
+                    stats["accepted_swaps"] += 1
             if cost < best_cost:
                 best_cost = cost
                 best_P = P.copy()
             temp *= decay
-        return best_P, best_cost
+        return best_P, best_cost, stats
 
     # ----------------------------------------------------------------- solve
 
-    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+    def _solve(
+        self, problem: MappingProblem, rng: np.random.Generator
+    ) -> tuple[np.ndarray, dict]:
+        from ..obs import get_recorder
+
+        obs = get_recorder()
         best_P: np.ndarray | None = None
         best_cost = np.inf
-        for _ in range(self.restarts):
-            P, cost = self._anneal(problem, rng)
+        meta = {
+            "steps": self.steps,
+            "restarts": self.restarts,
+            "best_restart": -1,
+            "proposals": 0,
+            "accepted_moves": 0,
+            "accepted_swaps": 0,
+        }
+        for restart in range(self.restarts):
+            with obs.span("annealing.restart", index=restart) as sp:
+                P, cost, stats = self._anneal(problem, rng)
+                sp.set(cost=cost, **stats)
+            for key, val in stats.items():
+                meta[key] += val
             if cost < best_cost:
                 best_cost = cost
                 best_P = P
+                meta["best_restart"] = restart
         if best_P is None:
             raise RuntimeError(
                 f"annealing produced no mapping across {self.restarts} "
                 "restart(s); this indicates a bug in the anneal loop"
             )
-        return best_P
+        return best_P, meta
 
 
 register_mapper(SimulatedAnnealingMapper, SimulatedAnnealingMapper.name)

@@ -79,7 +79,9 @@ class GreedyMapper(Mapper):
     def __init__(self, *, affinity_growth: bool = True) -> None:
         self.affinity_growth = bool(affinity_growth)
 
-    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+    def _solve(
+        self, problem: MappingProblem, rng: np.random.Generator
+    ) -> tuple[np.ndarray, dict]:
         ensure_feasible(problem, context=self.name)
         n = problem.num_processes
         P = problem.constraints.copy()
@@ -93,6 +95,7 @@ class GreedyMapper(Mapper):
         if not self.affinity_growth:
             # Static order: heaviest volume first, ties by rank index
             # (np.argsort on -quantity is stable).
+            placed = 0
             order = np.argsort(-quantity, kind="stable")
             for t in order:
                 if selected[t]:
@@ -102,7 +105,8 @@ class GreedyMapper(Mapper):
                 P[t] = site
                 selected[t] = True
                 avail[site] -= 1
-            return P
+                placed += 1
+            return P, {"variant": "static-volume", "placed": placed}
 
         # Affinity-growth variant: seed from the constrained set, then
         # repeatedly pull in the process most connected to what is placed.
@@ -110,18 +114,27 @@ class GreedyMapper(Mapper):
         affinity = np.zeros(n)
         for res in np.flatnonzero(selected):
             affinity += _affinity_row(sym, int(res))
+        affinity_picks = fallback_picks = 0
         for _ in range(n - int(selected.sum())):
             masked = np.where(selected, neg_inf, affinity)
             t = int(np.argmax(masked))
             if masked[t] <= 0.0:
                 t = int(np.argmax(np.where(selected, neg_inf, quantity)))
+                fallback_picks += 1
+            else:
+                affinity_picks += 1
             open_sites = np.flatnonzero(avail > 0)
             site = int(open_sites[np.argmax(score[open_sites])])
             P[t] = site
             selected[t] = True
             avail[site] -= 1
             affinity += _affinity_row(sym, t)
-        return P
+        meta = {
+            "variant": "affinity-growth",
+            "affinity_picks": affinity_picks,
+            "fallback_picks": fallback_picks,
+        }
+        return P, meta
 
 
 register_mapper(GreedyMapper, GreedyMapper.name)

@@ -231,26 +231,43 @@ class MonteCarloMapper(Mapper):
     def __init__(self, samples: int = 1000) -> None:
         self.samples = check_positive_int(samples, "samples")
 
-    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+    def _solve(
+        self, problem: MappingProblem, rng: np.random.Generator
+    ) -> tuple[np.ndarray, dict]:
+        from ..obs import get_recorder
+
+        obs = get_recorder()
         ev = CostEvaluator(problem)
         best_P: np.ndarray | None = None
         best_cost = np.inf
+        best_sample = -1
+        batches = 0
         remaining = self.samples
         while remaining > 0:
             b = min(2048, remaining)
-            Ps = sample_assignments(problem, b, seed=rng)
-            costs = ev.batch_cost(Ps)
-            idx = int(np.argmin(costs))
+            with obs.span("montecarlo.batch", index=batches, samples=b) as sp:
+                Ps = sample_assignments(problem, b, seed=rng)
+                costs = ev.batch_cost(Ps)
+                idx = int(np.argmin(costs))
+                sp.set(best_cost=float(costs[idx]))
             if costs[idx] < best_cost:
                 best_cost = float(costs[idx])
                 best_P = Ps[idx]
+                best_sample = (self.samples - remaining) + idx
+            batches += 1
             remaining -= b
         if best_P is None:
             raise RuntimeError(
                 "Monte Carlo search evaluated no samples; samples="
                 f"{self.samples} should have produced at least one candidate"
             )
-        return best_P
+        meta = {
+            "samples": self.samples,
+            "batches": batches,
+            "best_sample_index": best_sample,
+            "best_sampled_cost": best_cost,
+        }
+        return best_P, meta
 
 
 register_mapper(MonteCarloMapper, MonteCarloMapper.name)

@@ -146,36 +146,52 @@ class MPIPPMapper(Mapper):
 
     # ----------------------------------------------------------------- solve
 
-    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+    def _solve(
+        self, problem: MappingProblem, rng: np.random.Generator
+    ) -> tuple[np.ndarray, dict]:
+        from ..obs import get_recorder
+
+        obs = get_recorder()
         sizes = _part_sizes(problem)
         fixed = problem.constraints  # part index == site index by construction
         view = problem if self.geo_aware else self._coarse_problem(problem)
         best_P: np.ndarray | None = None
         best_cost = np.inf
-        for _ in range(self.restarts):
-            labels = kway_partition(
-                problem.CG,
-                sizes,
-                fixed=np.where(fixed == UNCONSTRAINED, -1, fixed),
-                seed=rng,
-            )
-            if self.geo_aware:
-                P = self._assign_parts(problem, labels, sizes)
-            else:
-                P = labels.astype(np.int64)
-            P = self._refine(view, P)
-            # Restart selection uses the cost *MPIPP believes in*.
-            cost = total_cost(view, P)
+        meta = {
+            "restarts": self.restarts,
+            "geo_aware": self.geo_aware,
+            "fast_refine": self.fast_refine,
+            "best_restart": -1,
+            "refine_passes": 0,
+        }
+        for restart in range(self.restarts):
+            with obs.span("mpipp.restart", index=restart) as sp:
+                labels = kway_partition(
+                    problem.CG,
+                    sizes,
+                    fixed=np.where(fixed == UNCONSTRAINED, -1, fixed),
+                    seed=rng,
+                )
+                if self.geo_aware:
+                    P = self._assign_parts(problem, labels, sizes)
+                else:
+                    P = labels.astype(np.int64)
+                P, passes = self._refine(view, P)
+                # Restart selection uses the cost *MPIPP believes in*.
+                cost = total_cost(view, P)
+                sp.set(cost=cost, refine_passes=passes)
+            meta["refine_passes"] += passes
             if cost < best_cost:
                 best_cost = cost
                 best_P = P
+                meta["best_restart"] = restart
         if best_P is None:
             raise RuntimeError(
                 "MPIPP produced no candidate mapping across "
                 f"{self.restarts} restart(s); this indicates a bug in the "
                 "partition/refine pipeline"
             )
-        return best_P
+        return best_P, meta
 
     # ------------------------------------------------------- part assignment
 
@@ -247,7 +263,7 @@ class MPIPPMapper(Mapper):
 
     # -------------------------------------------------------------- refining
 
-    def _refine(self, problem: MappingProblem, P: np.ndarray) -> np.ndarray:
+    def _refine(self, problem: MappingProblem, P: np.ndarray) -> tuple[np.ndarray, int]:
         """Iterative pairwise exchange until no swap improves the cost.
 
         The faithful mode scans, for every process, the exact exchange
@@ -256,13 +272,18 @@ class MPIPPMapper(Mapper):
         (and the reason Fig. 7 drops it beyond ~1000 processes).  The
         ``fast_refine`` extension shortlists partners with the O(N^2 * M)
         all-moves delta matrix and verifies only the best candidate.
+
+        Returns the refined assignment and the number of sweeps run
+        (including the final no-improvement sweep that stopped it).
         """
         P = P.astype(np.int64).copy()
         ev = CostEvaluator(problem)
         movable = problem.constraints == UNCONSTRAINED
         n = problem.num_processes
 
+        passes = 0
         for _ in range(self.max_passes):
+            passes += 1
             applied = False
             if self.fast_refine:
                 D = ev.move_delta_matrix(P)
@@ -297,7 +318,7 @@ class MPIPPMapper(Mapper):
                         applied = True
             if not applied:
                 break
-        return P
+        return P, passes
 
 
 register_mapper(MPIPPMapper, MPIPPMapper.name)

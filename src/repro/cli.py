@@ -18,6 +18,12 @@ Commands
     brownout, latency spike, flapping link, capacity loss) with the
     resilient runner: per-cell timeouts, bounded retries, and
     checkpoint/resume.
+``trace-report``
+    Render a JSON trace captured with ``--trace`` as a span tree.
+
+``map``, ``compare``, and ``robustness`` accept ``--trace out.json``:
+the whole command runs under a span recorder and the trace forest is
+written as JSON on exit (see :mod:`repro.obs`).
 
 Examples
 --------
@@ -29,6 +35,8 @@ Examples
     python -m repro compare --app K-means --constraint-ratio 0.4
     python -m repro robustness --app LU --processes 32 --sites 4 \
         --checkpoint sweep.json --resume
+    python -m repro map --app LU --trace trace.json
+    python -m repro trace-report trace.json --max-depth 3
 """
 
 from __future__ import annotations
@@ -84,7 +92,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "calibrate", parents=[common], help="print the calibrated LT/BT matrices"
     )
 
-    app_common = argparse.ArgumentParser(add_help=False, parents=[common])
+    traceable = argparse.ArgumentParser(add_help=False)
+    traceable.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="record an observability trace of the run and write it as JSON",
+    )
+
+    app_common = argparse.ArgumentParser(add_help=False, parents=[common, traceable])
     app_common.add_argument(
         "--app", default="LU", choices=list(PAPER_APPS), help="workload to map"
     )
@@ -108,6 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_rob = sub.add_parser(
         "robustness",
+        parents=[traceable],
         help="evaluate mappers against the standard fault suite",
     )
     p_rob.add_argument("--app", default="LU", choices=list(PAPER_APPS))
@@ -158,6 +175,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_rob.add_argument(
         "--retries", type=int, default=1, help="retries per failed cell"
+    )
+
+    p_report = sub.add_parser(
+        "trace-report", help="render a --trace JSON file as a span tree"
+    )
+    p_report.add_argument("trace_file", help="trace JSON written by --trace")
+    p_report.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="prune the rendered tree below this depth (default: no limit)",
+    )
+    p_report.add_argument(
+        "--max-children",
+        type=int,
+        default=40,
+        help="elide the middle of fan-outs wider than this (default: 40)",
     )
     return parser
 
@@ -304,19 +338,48 @@ def _cmd_robustness(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_trace_report(args) -> int:
+    from .obs import TraceSchemaError, load_trace, render_trace
+
+    try:
+        spans = load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        # TraceSchemaError is a ValueError; OSError covers missing files.
+        kind = "invalid trace" if isinstance(exc, TraceSchemaError) else "error"
+        print(f"{kind}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        render_trace(
+            spans, max_depth=args.max_depth, max_children=args.max_children
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "regions": _cmd_regions,
     "calibrate": _cmd_calibrate,
     "map": _cmd_map,
     "compare": _cmd_compare,
     "robustness": _cmd_robustness,
+    "trace-report": _cmd_trace_report,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return handler(args)
+    from .obs import recording, write_trace
+
+    with recording() as rec:
+        code = handler(args)
+    write_trace(trace_path, rec.roots)
+    print(f"trace written to {trace_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,6 +27,7 @@ sub-problem independently (Section 4.2, "Grouping Optimization").
 
 from __future__ import annotations
 
+import contextvars
 from concurrent.futures import ThreadPoolExecutor
 from itertools import islice, permutations
 from typing import Sequence
@@ -35,6 +36,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .._validation import check_positive_int
+from ..obs import get_recorder
 from .constraints import constrained_sites_available, ensure_feasible
 from .cost import total_cost
 from .grouping import SiteGroup, group_sites
@@ -128,14 +130,22 @@ def _initial_state(problem: MappingProblem, quantity: np.ndarray) -> _FillState:
     return _FillState(P, selected, avail, site_done, num_placed, masked_q)
 
 
-def _fill_group(state: _FillState, group: SiteGroup, sym, n: int) -> None:
+def _fill_group(
+    state: _FillState, group: SiteGroup, sym, n: int
+) -> tuple[int, int, int]:
     """Lines 7-15 of Algorithm 1 for one group, mutating ``state`` in place.
 
     The masked affinity vector ``masked_w`` is maintained incrementally:
     selecting a process sets its entry to -inf (which further row
     additions cannot revive), so each placement is one ``argmax`` plus one
     in-place row addition instead of a fresh ``np.where`` allocation.
+
+    Returns the greedy-fill pick counts of this group walk —
+    ``(seed_picks, affinity_picks, fallback_picks)`` — where a fallback
+    is an affinity slot decided by communication quantity because no
+    unselected process communicates with the site's residents.
     """
+    seed_picks = affinity_picks = fallback_picks = 0
     P = state.P
     selected = state.selected
     avail = state.avail
@@ -163,6 +173,7 @@ def _fill_group(state: _FillState, group: SiteGroup, sym, n: int) -> None:
             masked_q[t0] = neg_inf
             avail[site] -= 1
             state.num_placed += 1
+            seed_picks += 1
 
             # Affinity to everything already on this site, including
             # processes pinned there by constraints, in one batched sum.
@@ -178,6 +189,9 @@ def _fill_group(state: _FillState, group: SiteGroup, sym, n: int) -> None:
                 # isolated processes still place deterministically.
                 if masked_w[t] <= 0.0:
                     t = int(np.argmax(masked_q))
+                    fallback_picks += 1
+                else:
+                    affinity_picks += 1
                 P[t] = site
                 selected[t] = True
                 masked_q[t] = neg_inf
@@ -187,6 +201,7 @@ def _fill_group(state: _FillState, group: SiteGroup, sym, n: int) -> None:
                 masked_w += _affinity_row(sym, t)
 
         site_done[site] = True
+    return seed_picks, affinity_picks, fallback_picks
 
 
 class GeoDistributedMapper(Mapper):
@@ -257,7 +272,9 @@ class GeoDistributedMapper(Mapper):
 
     # ----------------------------------------------------------------- solve
 
-    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
+    def _solve(
+        self, problem: MappingProblem, rng: np.random.Generator
+    ) -> tuple[np.ndarray, dict]:
         ensure_feasible(problem, context=self.name)
         if problem.coordinates is None:
             # Without coordinates, fall back to a single all-sites group:
@@ -279,7 +296,7 @@ class GeoDistributedMapper(Mapper):
 
     def _solve_flat(
         self, problem: MappingProblem, groups: Sequence[SiteGroup]
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, dict]:
         quantity = problem.communication_quantity()
         sym = _symmetric_traffic(problem)
 
@@ -295,19 +312,33 @@ class GeoDistributedMapper(Mapper):
             chunks = [indexed[i * size : (i + 1) * size] for i in range(k)]
             chunks = [c for c in chunks if c]
             with ThreadPoolExecutor(max_workers=len(chunks)) as ex:
-                results = list(
-                    ex.map(
-                        lambda ch: self._evaluate_orders(
-                            problem, groups, ch, quantity, sym
-                        ),
-                        chunks,
+                # Each chunk runs under a copy of the caller's context so
+                # worker-thread spans parent under the ambient "solve"
+                # span instead of starting a fresh trace root.
+                futures = [
+                    ex.submit(
+                        contextvars.copy_context().run,
+                        self._evaluate_orders,
+                        problem,
+                        groups,
+                        chunk,
+                        quantity,
+                        sym,
                     )
-                )
+                    for chunk in chunks
+                ]
+                results = [f.result() for f in futures]
             # Tie-break equal costs by enumeration index: identical to the
             # sequential first-best-wins scan.
-            best_cost, best_idx, best_P = min(results, key=lambda r: (r[0], r[1]))
+            best_cost, best_idx, best_P, best_order, stats = min(
+                results, key=lambda r: (r[0], r[1])
+            )
+            for other in results:
+                if other[4] is not stats:
+                    for key, val in other[4].items():
+                        stats[key] += val
         else:
-            best_cost, best_idx, best_P = self._evaluate_orders(
+            best_cost, best_idx, best_P, best_order, stats = self._evaluate_orders(
                 problem, groups, indexed, quantity, sym
             )
         if best_P is None:  # unreachable: at least one order always runs
@@ -315,7 +346,23 @@ class GeoDistributedMapper(Mapper):
                 "greedy fill evaluated no group orders; at least one "
                 "permutation should always be enumerated"
             )
-        return best_P
+        meta = {
+            "kappa": len(groups),
+            "chosen_order": list(best_order),
+            "order_index": best_idx,
+            "orders_evaluated": stats["orders_evaluated"],
+            "memo": {
+                "enabled": self.memoize,
+                "hits": stats["memo_hits"],
+                "misses": stats["memo_misses"],
+            },
+            "fill": {
+                "seed_picks": stats["seed_picks"],
+                "affinity_picks": stats["affinity_picks"],
+                "fallback_picks": stats["fallback_picks"],
+            },
+        }
+        return best_P, meta
 
     def _evaluate_orders(
         self,
@@ -324,54 +371,80 @@ class GeoDistributedMapper(Mapper):
         indexed_orders: Sequence[tuple[int, tuple[int, ...]]],
         quantity: np.ndarray,
         sym,
-    ) -> tuple[float, int, np.ndarray | None]:
-        """Greedy-fill and cost every (index, order); return the best triple.
+    ) -> tuple[float, int, np.ndarray | None, tuple[int, ...], dict]:
+        """Greedy-fill and cost every (index, order); return the best.
 
         ``states[d]`` holds the fill state after the first ``d`` groups of
         the most recently processed order.  Because the enumeration is
         lexicographic, the next order's longest shared prefix is always a
         stack prefix, so memoization is a truncate + extend — no explicit
         trie nodes needed.
+
+        Returns ``(best_cost, best_idx, best_P, best_order, stats)``;
+        ``stats`` counts the work actually performed — group fills
+        executed (memo misses) vs resumed from the prefix cache (memo
+        hits), and the greedy-fill pick breakdown.  Each evaluated order
+        additionally gets a ``geodist.order`` span when recording is on.
         """
+        obs = get_recorder()
         n = problem.num_processes
         states: list[_FillState] = [_initial_state(problem, quantity)]
         prev: tuple[int, ...] = ()
         best_cost = np.inf
         best_idx = -1
         best_P: np.ndarray | None = None
+        best_order: tuple[int, ...] = ()
+        stats = {
+            "orders_evaluated": 0,
+            "memo_hits": 0,
+            "memo_misses": 0,
+            "seed_picks": 0,
+            "affinity_picks": 0,
+            "fallback_picks": 0,
+        }
 
         for idx, order in indexed_orders:
-            if self.memoize:
-                d = 0
-                while d < len(prev) and prev[d] == order[d]:
-                    d += 1
-            else:
-                d = 0
-            del states[d + 1 :]
-            for g in order[d:]:
-                st = states[-1].clone()
-                _fill_group(st, groups[g], sym, n)
-                states.append(st)
-            final = states[-1]
-            if final.num_placed != n:
-                raise RuntimeError(
-                    "greedy fill left processes unplaced; this indicates an "
-                    "infeasible problem slipped past validation"
-                )
-            cost = total_cost(problem, final.P)
-            if cost < best_cost:
-                best_cost = cost
-                best_idx = idx
-                best_P = final.P.copy()
-            prev = order
-        return best_cost, best_idx, best_P
+            with obs.span("geodist.order", index=idx, order=list(order)) as sp:
+                if self.memoize:
+                    d = 0
+                    while d < len(prev) and prev[d] == order[d]:
+                        d += 1
+                else:
+                    d = 0
+                del states[d + 1 :]
+                for g in order[d:]:
+                    st = states[-1].clone()
+                    seeds, affs, falls = _fill_group(st, groups[g], sym, n)
+                    stats["seed_picks"] += seeds
+                    stats["affinity_picks"] += affs
+                    stats["fallback_picks"] += falls
+                    states.append(st)
+                final = states[-1]
+                if final.num_placed != n:
+                    raise RuntimeError(
+                        "greedy fill left processes unplaced; this indicates an "
+                        "infeasible problem slipped past validation"
+                    )
+                cost = total_cost(problem, final.P)
+                stats["orders_evaluated"] += 1
+                stats["memo_hits"] += d
+                stats["memo_misses"] += len(order) - d
+                sp.set(cost=cost, resumed_depth=d, groups_filled=len(order) - d)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_idx = idx
+                    best_P = final.P.copy()
+                    best_order = order
+                prev = order
+        return best_cost, best_idx, best_P, best_order, stats
 
     # ---------------------------------------------------------- recursive mode
 
     def _solve_recursive(
         self, problem: MappingProblem, groups: Sequence[SiteGroup]
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, dict]:
         """Grouping optimization: groups as super-sites, then recurse."""
+        obs = get_recorder()
         kappa = len(groups)
         m = problem.num_sites
 
@@ -411,9 +484,14 @@ class GeoDistributedMapper(Mapper):
         outer_groups = [
             SiteGroup(i, (i,), coords_g[i].copy()) for i in range(kappa)
         ]
-        P_outer = self._solve_flat(outer, outer_groups)
+        with obs.span("geodist.outer", num_groups=kappa):
+            P_outer, outer_meta = self._solve_flat(outer, outer_groups)
 
         # Recurse per group on the induced sub-problem.
+        meta = dict(outer_meta)
+        meta["recursive"] = True
+        subproblems: list[dict] = []
+        meta["subproblems"] = subproblems
         P = np.empty(problem.num_processes, dtype=np.int64)
         for g in groups:
             procs = np.flatnonzero(P_outer == g.index)
@@ -450,14 +528,27 @@ class GeoDistributedMapper(Mapper):
             ) if sub.coordinates is not None else [
                 SiteGroup(0, tuple(range(sub.num_sites)), np.zeros(2))
             ]
-            if self.recursive and any(
-                gg.num_sites > self.recursion_limit for gg in sub_groups
-            ) and sub.num_sites < m:  # guard: recursion must shrink
-                sub_P = self._solve_recursive(sub, sub_groups)
-            else:
-                sub_P = self._solve_flat(sub, sub_groups)
+            with obs.span(
+                "geodist.subproblem",
+                group=g.index,
+                num_processes=int(procs.size),
+                num_sites=int(sites.size),
+            ):
+                if self.recursive and any(
+                    gg.num_sites > self.recursion_limit for gg in sub_groups
+                ) and sub.num_sites < m:  # guard: recursion must shrink
+                    sub_P, sub_meta = self._solve_recursive(sub, sub_groups)
+                else:
+                    sub_P, sub_meta = self._solve_flat(sub, sub_groups)
+            subproblems.append(
+                {
+                    "group": g.index,
+                    "num_processes": int(procs.size),
+                    "chosen_order": sub_meta["chosen_order"],
+                }
+            )
             P[procs] = sites[sub_P]
-        return P
+        return P, meta
 
 
 register_mapper(GeoDistributedMapper, GeoDistributedMapper.name)

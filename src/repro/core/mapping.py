@@ -6,6 +6,13 @@ algorithms (the paper's Geo-distributed method and the Baseline / Greedy /
 MPIPP comparison methods) implement the :class:`Mapper` interface and
 register themselves in a global registry so experiments can be configured
 by name.
+
+:meth:`Mapper.map` is an explicit four-stage pipeline — feasibility →
+solve → validate → cost — each stage wrapped in an observability span
+(:mod:`repro.obs`), so a trace of any mapping run decomposes the paper's
+"optimization overhead" scalar (Fig. 4) into where the time actually
+went.  The solve stage lets :meth:`Mapper._solve` return per-algorithm
+metadata alongside the assignment; it lands in :attr:`Mapping.meta`.
 """
 
 from __future__ import annotations
@@ -22,12 +29,18 @@ from .problem import UNCONSTRAINED, MappingProblem
 __all__ = [
     "Mapping",
     "Mapper",
+    "SolveResult",
     "FeasibilityError",
     "validate_assignment",
     "register_mapper",
     "get_mapper",
     "available_mappers",
 ]
+
+#: What :meth:`Mapper._solve` may return: a bare (N,) assignment, or the
+#: assignment plus a JSON-friendly metadata dict describing how the
+#: algorithm got there (chosen group order, memo hits, accepted moves...).
+SolveResult = np.ndarray | tuple[np.ndarray, dict]
 
 
 class FeasibilityError(ValueError):
@@ -92,7 +105,10 @@ class Mapping:
         Wall-clock optimization time — the paper's "optimization overhead"
         (Fig. 4).
     meta:
-        Free-form extra data (e.g. the group order the Geo mapper chose).
+        Per-algorithm solver metadata (e.g. the group order the Geo
+        mapper chose and its memo hit counts).  Defensively copied, so a
+        caller mutating the dict it passed in cannot change a frozen
+        result after the fact.
     """
 
     assignment: np.ndarray
@@ -108,6 +124,7 @@ class Mapping:
         arr = arr.copy()
         arr.setflags(write=False)
         object.__setattr__(self, "assignment", arr)
+        object.__setattr__(self, "meta", dict(self.meta))
         if not np.isfinite(self.cost):
             raise ValueError(f"cost must be finite, got {self.cost}")
 
@@ -128,17 +145,25 @@ class Mapping:
 class Mapper(abc.ABC):
     """Interface all mapping algorithms implement.
 
-    Subclasses implement :meth:`_solve` returning a raw assignment; the
-    public :meth:`map` wraps it with timing, feasibility validation and
-    cost evaluation so every algorithm reports comparable results.
+    Subclasses implement :meth:`_solve` returning a raw assignment — or
+    ``(assignment, meta)`` where ``meta`` is a JSON-friendly dict of
+    solver provenance — and the public :meth:`map` runs the four-stage
+    pipeline (feasibility → solve → validate → cost), each stage under
+    an observability span, so every algorithm reports comparable
+    results *and* comparable traces.
     """
 
     #: Registry / display name; subclasses must override.
     name: str = "abstract"
 
     @abc.abstractmethod
-    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> np.ndarray:
-        """Produce an (N,) site assignment for ``problem``."""
+    def _solve(self, problem: MappingProblem, rng: np.random.Generator) -> SolveResult:
+        """Produce an (N,) site assignment for ``problem``.
+
+        May instead return ``(assignment, meta)`` to surface solver
+        metadata; :meth:`map` propagates the dict into
+        :attr:`Mapping.meta`.
+        """
 
     def map(
         self,
@@ -148,21 +173,40 @@ class Mapper(abc.ABC):
     ) -> Mapping:
         """Solve ``problem`` and return a validated, costed :class:`Mapping`."""
         from .._validation import as_rng
+        from ..obs import get_recorder
         from .constraints import ensure_feasible
         from .cost import total_cost
 
-        ensure_feasible(problem, context=self.name)
-        rng = as_rng(seed)
-        start = time.perf_counter()
-        assignment = self._solve(problem, rng)
-        elapsed = time.perf_counter() - start
-        P = validate_assignment(problem, assignment)
-        return Mapping(
-            assignment=P,
-            cost=total_cost(problem, P),
+        obs = get_recorder()
+        with obs.span(
+            "mapper.map",
             mapper=self.name,
-            elapsed_s=elapsed,
-        )
+            num_processes=problem.num_processes,
+            num_sites=problem.num_sites,
+        ) as root:
+            with obs.span("feasibility"):
+                ensure_feasible(problem, context=self.name)
+            rng = as_rng(seed)
+            start = time.perf_counter()
+            with obs.span("solve"):
+                solved = self._solve(problem, rng)
+            elapsed = time.perf_counter() - start
+            if isinstance(solved, tuple):
+                assignment, meta = solved
+            else:
+                assignment, meta = solved, {}
+            with obs.span("validate"):
+                P = validate_assignment(problem, assignment)
+            with obs.span("cost"):
+                cost = total_cost(problem, P)
+            root.set(cost=cost, elapsed_s=elapsed)
+            return Mapping(
+                assignment=P,
+                cost=cost,
+                mapper=self.name,
+                elapsed_s=elapsed,
+                meta=meta,
+            )
 
 
 _REGISTRY: dict[str, Callable[..., Mapper]] = {}

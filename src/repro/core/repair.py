@@ -193,6 +193,26 @@ class IncrementalRepairMapper:
         site; an ``UNPLACED`` process that still carries a pin is placed
         on that site (if it has room) or the repair is infeasible.
         """
+        from ..obs import get_recorder
+
+        obs = get_recorder()
+        with obs.span(
+            "repair.run",
+            mapper=self.name,
+            refine_rounds=self.refine_rounds,
+            extra_moves=self.extra_moves,
+        ) as root:
+            result = self._repair(problem, partial, obs)
+            root.set(
+                cost=result.mapping.cost,
+                num_displaced=int(result.displaced.shape[0]),
+                num_migrated=result.num_migrated,
+            )
+            return result
+
+    def _repair(
+        self, problem: MappingProblem, partial: np.ndarray, obs
+    ) -> RepairResult:
         start = time.perf_counter()
         ensure_feasible(problem, context=self.name)
         n, m = problem.num_processes, problem.num_sites
@@ -216,78 +236,87 @@ class IncrementalRepairMapper:
         loads = np.bincount(P[placed], minlength=m)
 
         # ---- 1. evict overflow from shrunk sites (least-affinity first).
-        sym = problem.CG + problem.CG.T
-        if sp.issparse(sym):
-            sym = sym.tocsr()
-        for site in np.flatnonzero(loads > problem.capacities):
-            residents = np.flatnonzero(placed & (P == site))
-            movable = residents[~pinned[residents]]
-            excess = int(loads[site] - problem.capacities[site])
-            if movable.shape[0] < excess:
-                raise InfeasibleProblemError(
-                    f"{self.name}: site {site} holds "
-                    f"{int(pinned[residents].sum())} pinned processes but "
-                    f"only {int(problem.capacities[site])} nodes remain"
-                )
+        handed_in = int(displaced_mask.sum())
+        with obs.span("repair.evict") as span:
+            sym = problem.CG + problem.CG.T
             if sp.issparse(sym):
-                aff = np.asarray(sym[movable][:, residents].sum(axis=1)).ravel()
-            else:
-                aff = sym[np.ix_(movable, residents)].sum(axis=1)
-            # Stable sort: least-attached residents leave first,
-            # deterministic ties by process index.
-            evict = movable[np.argsort(aff, kind="stable")[:excess]]
-            P[evict] = UNPLACED
-            placed[evict] = False
-            displaced_mask[evict] = True
-            loads[site] -= excess
+                sym = sym.tocsr()
+            for site in np.flatnonzero(loads > problem.capacities):
+                residents = np.flatnonzero(placed & (P == site))
+                movable = residents[~pinned[residents]]
+                excess = int(loads[site] - problem.capacities[site])
+                if movable.shape[0] < excess:
+                    raise InfeasibleProblemError(
+                        f"{self.name}: site {site} holds "
+                        f"{int(pinned[residents].sum())} pinned processes but "
+                        f"only {int(problem.capacities[site])} nodes remain"
+                    )
+                if sp.issparse(sym):
+                    aff = np.asarray(sym[movable][:, residents].sum(axis=1)).ravel()
+                else:
+                    aff = sym[np.ix_(movable, residents)].sum(axis=1)
+                # Stable sort: least-attached residents leave first,
+                # deterministic ties by process index.
+                evict = movable[np.argsort(aff, kind="stable")[:excess]]
+                P[evict] = UNPLACED
+                placed[evict] = False
+                displaced_mask[evict] = True
+                loads[site] -= excess
 
-        displaced = np.flatnonzero(displaced_mask)
+            displaced = np.flatnonzero(displaced_mask)
+            evicted = int(displaced.shape[0]) - handed_in
+            span.set(evicted=evicted)
 
         # ---- 2. greedy placement, heaviest communication first.
-        quantity = problem.communication_quantity()
-        order = displaced[np.argsort(-quantity[displaced], kind="stable")]
-        inv_bt = 1.0 / problem.BT
-        free = problem.capacities - loads
-        for i in order:
-            if pinned[i]:
-                target = int(pins[i])
-                if free[target] <= 0:
-                    raise InfeasibleProblemError(
-                        f"{self.name}: process {i} is pinned to site {target}, "
-                        "which has no free node left"
-                    )
-            else:
-                cost_vec = _site_cost_vector(problem, inv_bt, P, placed, int(i))
-                cost_vec[free <= 0] = np.inf
-                target = int(np.argmin(cost_vec))
-                if not np.isfinite(cost_vec[target]):
-                    raise InfeasibleProblemError(
-                        f"{self.name}: no site has a free node for process {i}"
-                    )
-            P[i] = target
-            placed[i] = True
-            free[target] -= 1
-
-        # ---- 3. bounded best-move polish, displaced processes only.
-        for _ in range(self.refine_rounds):
-            improved = False
+        with obs.span("repair.place", num_displaced=int(displaced.shape[0])):
+            quantity = problem.communication_quantity()
+            order = displaced[np.argsort(-quantity[displaced], kind="stable")]
+            inv_bt = 1.0 / problem.BT
+            free = problem.capacities - loads
             for i in order:
                 if pinned[i]:
-                    continue
-                cur = int(P[i])
-                cost_vec = _site_cost_vector(problem, inv_bt, P, placed, int(i))
-                candidates = cost_vec.copy()
-                candidates[(free <= 0) & (np.arange(m) != cur)] = np.inf
-                best = int(np.argmin(candidates))
-                # Strict improvement beyond float noise keeps the pass
-                # deterministic and terminating.
-                if best != cur and candidates[best] < cost_vec[cur] * (1 - 1e-12):
-                    P[i] = best
-                    free[cur] += 1
-                    free[best] -= 1
-                    improved = True
-            if not improved:
-                break
+                    target = int(pins[i])
+                    if free[target] <= 0:
+                        raise InfeasibleProblemError(
+                            f"{self.name}: process {i} is pinned to site {target}, "
+                            "which has no free node left"
+                        )
+                else:
+                    cost_vec = _site_cost_vector(problem, inv_bt, P, placed, int(i))
+                    cost_vec[free <= 0] = np.inf
+                    target = int(np.argmin(cost_vec))
+                    if not np.isfinite(cost_vec[target]):
+                        raise InfeasibleProblemError(
+                            f"{self.name}: no site has a free node for process {i}"
+                        )
+                P[i] = target
+                placed[i] = True
+                free[target] -= 1
+
+        # ---- 3. bounded best-move polish, displaced processes only.
+        polish_rounds = 0
+        with obs.span("repair.polish") as span:
+            for _ in range(self.refine_rounds):
+                polish_rounds += 1
+                improved = False
+                for i in order:
+                    if pinned[i]:
+                        continue
+                    cur = int(P[i])
+                    cost_vec = _site_cost_vector(problem, inv_bt, P, placed, int(i))
+                    candidates = cost_vec.copy()
+                    candidates[(free <= 0) & (np.arange(m) != cur)] = np.inf
+                    best = int(np.argmin(candidates))
+                    # Strict improvement beyond float noise keeps the pass
+                    # deterministic and terminating.
+                    if best != cur and candidates[best] < cost_vec[cur] * (1 - 1e-12):
+                        P[i] = best
+                        free[cur] += 1
+                        free[best] -= 1
+                        improved = True
+                if not improved:
+                    break
+            span.set(rounds=polish_rounds)
 
         # ---- 4. budgeted global polish: spend up to ``extra_moves``
         # additional migrations on *kept* processes when relocating them
@@ -296,47 +325,49 @@ class IncrementalRepairMapper:
         # single move improves, it falls back to the best improving swap
         # (exact-verified).  Cost strictly decreases every round, so the
         # loop terminates.
+        moved_extra: set[int] = set()
         if self.extra_moves > 0:
-            evaluator = CostEvaluator(problem)
-            moved_extra: set[int] = set()
-            for _ in range(2 * n):
-                budget = self.extra_moves - len(moved_extra)
-                # Processes allowed to move this round without / within
-                # the remaining budget.
-                billed = np.fromiter(
-                    (
-                        not displaced_mask[i] and i not in moved_extra
-                        for i in range(n)
-                    ),
-                    dtype=bool,
-                    count=n,
-                )
-                can_move = ~pinned & (~billed | (budget > 0))
-                if not np.any(can_move):
-                    break
-                D = evaluator.move_delta_matrix(P)
-                D[~can_move, :] = np.inf
-                D[:, free <= 0] = np.inf
-                D[np.arange(n), P] = 0.0
-                i, s = np.unravel_index(int(np.argmin(D)), D.shape)
-                if D[i, s] < -1e-12:
-                    free[int(P[i])] += 1
-                    free[s] -= 1
-                    P[i] = s
-                    if billed[i]:
-                        moved_extra.add(int(i))
-                    continue
-                # No improving single move: look for an improving swap.
-                # Shortlist pairs by the naive two-move sum (cheap, from
-                # D), then verify candidates exactly with swap_delta.
-                pair = _best_swap(evaluator, P, ~pinned, billed, budget)
-                if pair is None:
-                    break
-                i, j = pair
-                P[i], P[j] = P[j], P[i]
-                for k in (i, j):
-                    if billed[k]:
-                        moved_extra.add(int(k))
+            with obs.span("repair.global_polish", budget=self.extra_moves) as span:
+                evaluator = CostEvaluator(problem)
+                for _ in range(2 * n):
+                    budget = self.extra_moves - len(moved_extra)
+                    # Processes allowed to move this round without / within
+                    # the remaining budget.
+                    billed = np.fromiter(
+                        (
+                            not displaced_mask[i] and i not in moved_extra
+                            for i in range(n)
+                        ),
+                        dtype=bool,
+                        count=n,
+                    )
+                    can_move = ~pinned & (~billed | (budget > 0))
+                    if not np.any(can_move):
+                        break
+                    D = evaluator.move_delta_matrix(P)
+                    D[~can_move, :] = np.inf
+                    D[:, free <= 0] = np.inf
+                    D[np.arange(n), P] = 0.0
+                    i, s = np.unravel_index(int(np.argmin(D)), D.shape)
+                    if D[i, s] < -1e-12:
+                        free[int(P[i])] += 1
+                        free[s] -= 1
+                        P[i] = s
+                        if billed[i]:
+                            moved_extra.add(int(i))
+                        continue
+                    # No improving single move: look for an improving swap.
+                    # Shortlist pairs by the naive two-move sum (cheap, from
+                    # D), then verify candidates exactly with swap_delta.
+                    pair = _best_swap(evaluator, P, ~pinned, billed, budget)
+                    if pair is None:
+                        break
+                    i, j = pair
+                    P[i], P[j] = P[j], P[i]
+                    for k in (i, j):
+                        if billed[k]:
+                            moved_extra.add(int(k))
+                span.set(extra_moves_used=len(moved_extra))
 
         assignment = validate_assignment(problem, P)
         old = np.asarray(partial).astype(np.int64)
@@ -349,6 +380,9 @@ class IncrementalRepairMapper:
             meta={
                 "displaced": displaced.tolist(),
                 "migrated": migrated.tolist(),
+                "evicted": evicted,
+                "polish_rounds": polish_rounds,
+                "extra_moves_used": len(moved_extra),
             },
         )
         return RepairResult(

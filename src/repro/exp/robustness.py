@@ -132,46 +132,58 @@ def _evaluate_cell(
     independent of evaluation order — a resumed sweep reproduces the
     exact numbers an uninterrupted one gets.
     """
-    base = mapper.map(problem, seed=as_rng(seed))
-    nan = float("nan")
-    try:
-        outcome = repair_after_faults(
-            problem,
-            base.assignment,
-            schedule,
-            at_time=at_time,
-            on_lost_pin="unpin",
-            refine_rounds=refine_rounds,
-            extra_moves=extra_moves,
+    from ..obs import get_recorder
+
+    obs = get_recorder()
+    with obs.span(
+        "robustness.cell", fault=fault_name, mapper=mapper_name
+    ) as span:
+        base = mapper.map(problem, seed=as_rng(seed))
+        nan = float("nan")
+        try:
+            outcome = repair_after_faults(
+                problem,
+                base.assignment,
+                schedule,
+                at_time=at_time,
+                on_lost_pin="unpin",
+                refine_rounds=refine_rounds,
+                extra_moves=extra_moves,
+            )
+        except InfeasibleProblemError as exc:
+            span.set(feasible=False)
+            return RobustnessCell(
+                fault=fault_name,
+                mapper=mapper_name,
+                feasible=False,
+                base_cost=float(base.cost),
+                repaired_cost=nan,
+                scratch_cost=nan,
+                cost_ratio=nan,
+                num_displaced=0,
+                num_migrated=0,
+                error=str(exc),
+            )
+        scratch = mapper.map(outcome.degraded.problem, seed=as_rng(seed))
+        ratio = (
+            outcome.new_cost / scratch.cost if scratch.cost > 0 else float("inf")
         )
-    except InfeasibleProblemError as exc:
+        span.set(
+            feasible=True,
+            cost_ratio=float(ratio),
+            num_migrated=outcome.num_migrated,
+        )
         return RobustnessCell(
             fault=fault_name,
             mapper=mapper_name,
-            feasible=False,
+            feasible=True,
             base_cost=float(base.cost),
-            repaired_cost=nan,
-            scratch_cost=nan,
-            cost_ratio=nan,
-            num_displaced=0,
-            num_migrated=0,
-            error=str(exc),
+            repaired_cost=float(outcome.new_cost),
+            scratch_cost=float(scratch.cost),
+            cost_ratio=float(ratio),
+            num_displaced=int(outcome.result.displaced.shape[0]),
+            num_migrated=outcome.num_migrated,
         )
-    scratch = mapper.map(outcome.degraded.problem, seed=as_rng(seed))
-    ratio = (
-        outcome.new_cost / scratch.cost if scratch.cost > 0 else float("inf")
-    )
-    return RobustnessCell(
-        fault=fault_name,
-        mapper=mapper_name,
-        feasible=True,
-        base_cost=float(base.cost),
-        repaired_cost=float(outcome.new_cost),
-        scratch_cost=float(scratch.cost),
-        cost_ratio=float(ratio),
-        num_displaced=int(outcome.result.displaced.shape[0]),
-        num_migrated=outcome.num_migrated,
-    )
 
 
 def robustness_scenarios(

@@ -91,15 +91,23 @@ def build_problem(
             f"topology has {topology.total_nodes} nodes for "
             f"{app.num_ranks} processes"
         )
-    cg, ag = app.communication_matrices()
-    constraints = (
-        random_constraints(
-            app.num_ranks, topology.capacities, constraint_ratio, seed=seed
+    from ..obs import get_recorder
+
+    with get_recorder().span(
+        "build_problem",
+        app=app.name,
+        num_processes=app.num_ranks,
+        constraint_ratio=constraint_ratio,
+    ):
+        cg, ag = app.communication_matrices()
+        constraints = (
+            random_constraints(
+                app.num_ranks, topology.capacities, constraint_ratio, seed=seed
+            )
+            if constraint_ratio > 0
+            else None
         )
-        if constraint_ratio > 0
-        else None
-    )
-    return MappingProblem.from_topology(cg, ag, topology, constraints=constraints)
+        return MappingProblem.from_topology(cg, ag, topology, constraints=constraints)
 
 
 def simulate_mapping(
@@ -116,13 +124,16 @@ def simulate_mapping(
     """
     if mode not in ("full", "comm"):
         raise ValueError(f"mode must be 'full' or 'comm', got {mode!r}")
+    from ..obs import get_recorder
+
     network = SimNetwork(problem, assignment, contention=contention)
-    return Simulator(
-        app.num_ranks,
-        app.program,
-        network,
-        compute_scale=1.0 if mode == "full" else 0.0,
-    ).run()
+    with get_recorder().span("simulate." + mode, app=app.name):
+        return Simulator(
+            app.num_ranks,
+            app.program,
+            network,
+            compute_scale=1.0 if mode == "full" else 0.0,
+        ).run()
 
 
 def run_comparison(
@@ -140,20 +151,28 @@ def run_comparison(
     is produced — enough for overhead studies like Fig. 4 — and the
     simulated times are NaN.
     """
+    from ..obs import get_recorder
+
+    obs = get_recorder()
     rng = as_rng(seed)
     out: dict[str, RunResult] = {}
     for key, mapper in mappers.items():
-        mapping = mapper.map(problem, seed=rng)
-        if simulate:
-            full = simulate_mapping(app, problem, mapping.assignment, mode="full")
-            comm = simulate_mapping(app, problem, mapping.assignment, mode="comm")
-            out[key] = RunResult(
-                mapping=mapping,
-                total_time_s=full.makespan_s,
-                comm_time_s=comm.makespan_s,
-                sim=full,
-            )
-        else:
+        with obs.span(
+            "comparison.mapper", key=key, mapper=mapper.name, app=app.name
+        ) as sp:
+            mapping = mapper.map(problem, seed=rng)
+            sp.set(cost=mapping.cost, map_elapsed_s=mapping.elapsed_s)
+            if simulate:
+                full = simulate_mapping(app, problem, mapping.assignment, mode="full")
+                comm = simulate_mapping(app, problem, mapping.assignment, mode="comm")
+                sp.set(total_time_s=full.makespan_s, comm_time_s=comm.makespan_s)
+                out[key] = RunResult(
+                    mapping=mapping,
+                    total_time_s=full.makespan_s,
+                    comm_time_s=comm.makespan_s,
+                    sim=full,
+                )
+                continue
             empty = SimResult(
                 makespan_s=float("nan"),
                 rank_times_s=np.full(app.num_ranks, np.nan),
@@ -315,27 +334,43 @@ class ResilientRunner:
     def _run_one(
         self, key: str, thunk: Callable[[], dict[str, Any]]
     ) -> ScenarioOutcome:
+        from ..obs import get_recorder
+
+        obs = get_recorder()
         max_attempts = 1 + self.max_retries
         status: str = "failed"
         result: dict[str, Any] | None = None
         error: str | None = "never attempted"
         attempts = 0
         elapsed = 0.0
-        for attempt in range(max_attempts):
-            start = time.perf_counter()
-            try:
-                status, result, error = self._attempt(thunk)
-            except Exception as exc:  # graceful degradation: failure row
-                status, result = "failed", None
-                error = f"{type(exc).__name__}: {exc}"
-            elapsed = time.perf_counter() - start
-            attempts = attempt + 1
-            if status == "ok":
-                break
-            if attempt + 1 < max_attempts:
-                self._sleep(
-                    self.backoff_base_s * self.backoff_factor**attempt
+        with obs.span(
+            "runner.scenario",
+            key=key,
+            timeout_s=self.timeout_s,
+            max_retries=self.max_retries,
+        ) as span:
+            for attempt in range(max_attempts):
+                start = time.perf_counter()
+                try:
+                    status, result, error = self._attempt(thunk)
+                except Exception as exc:  # graceful degradation: failure row
+                    status, result = "failed", None
+                    error = f"{type(exc).__name__}: {exc}"
+                elapsed = time.perf_counter() - start
+                attempts = attempt + 1
+                if status == "ok":
+                    break
+                obs.event(
+                    "runner.attempt_failed",
+                    attempt=attempt,
+                    status=status,
+                    error=error,
                 )
+                if attempt + 1 < max_attempts:
+                    backoff = self.backoff_base_s * self.backoff_factor**attempt
+                    obs.event("runner.retry", attempt=attempt, backoff_s=backoff)
+                    self._sleep(backoff)
+            span.set(status=status, attempts=attempts, elapsed_s=elapsed)
         return ScenarioOutcome(
             key=key,
             status=status,
@@ -365,6 +400,9 @@ class ResilientRunner:
         """
         if resume and self.checkpoint is None:
             raise ValueError("resume=True requires a checkpoint store")
+        from ..obs import get_recorder
+
+        obs = get_recorder()
         items = (
             list(scenarios.items())
             if isinstance(scenarios, TypingMapping)
@@ -376,21 +414,36 @@ class ResilientRunner:
             else set()
         )
         outcomes: dict[str, ScenarioOutcome] = {}
-        for key, thunk in items:
-            if key in done and self.checkpoint is not None:
-                row = self.checkpoint.get(key) or {}
-                outcomes[key] = ScenarioOutcome(
-                    key=key,
-                    status=str(row.get("status", "ok")),
-                    attempts=0,
-                    elapsed_s=float(row.get("elapsed_s", 0.0)),
-                    result=row.get("result"),
-                    error=row.get("error"),
-                    from_checkpoint=True,
-                )
-                continue
-            outcome = self._run_one(key, thunk)
-            if self.checkpoint is not None:
-                self.checkpoint.record(key, outcome.to_row())
-            outcomes[key] = outcome
+        with obs.span(
+            "runner.sweep", num_scenarios=len(items), resume=resume
+        ) as sweep:
+            for key, thunk in items:
+                if key in done and self.checkpoint is not None:
+                    row = self.checkpoint.get(key) or {}
+                    obs.event(
+                        "runner.checkpoint_replay",
+                        key=key,
+                        status=str(row.get("status", "ok")),
+                    )
+                    outcomes[key] = ScenarioOutcome(
+                        key=key,
+                        status=str(row.get("status", "ok")),
+                        attempts=0,
+                        elapsed_s=float(row.get("elapsed_s", 0.0)),
+                        result=row.get("result"),
+                        error=row.get("error"),
+                        from_checkpoint=True,
+                    )
+                    continue
+                outcome = self._run_one(key, thunk)
+                if self.checkpoint is not None:
+                    self.checkpoint.record(key, outcome.to_row())
+                outcomes[key] = outcome
+            statuses = [o.status for o in outcomes.values()]
+            sweep.set(
+                ok=statuses.count("ok"),
+                failed=statuses.count("failed"),
+                timeout=statuses.count("timeout"),
+                replayed=sum(1 for o in outcomes.values() if o.from_checkpoint),
+            )
         return outcomes

@@ -1,0 +1,71 @@
+"""repro.obs — the structured observability layer.
+
+One instrumentation spine for the whole reproduction: hierarchical
+:class:`~repro.obs.spans.Span` trees with typed counters and events,
+recorded through a context-local ambient recorder, exported as JSON (the
+``--trace`` file format) or rendered as text (``trace-report``).
+
+Zero dependencies (stdlib only) and a no-op default: until a
+:class:`SpanRecorder` is installed, every instrumented call site hits
+:data:`NULL_RECORDER` and does essentially nothing, which is what keeps
+the mapper/simulator hot paths at full speed (``benchmarks/bench_obs.py``
+guards this).
+
+Typical use::
+
+    from repro.obs import recording, render_trace
+
+    with recording() as rec:
+        mapper.map(problem)
+    print(render_trace(rec.roots))
+"""
+
+from .export import (
+    TRACE_VERSION,
+    TraceSchemaError,
+    load_trace,
+    render_trace,
+    span_from_dict,
+    span_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+    validate_trace,
+    write_trace,
+)
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    NullSpan,
+    Recorder,
+    SpanRecorder,
+    get_recorder,
+    recording,
+    set_recorder,
+    using_recorder,
+)
+from .spans import JSONValue, Span, SpanEvent
+
+__all__ = [
+    "JSONValue",
+    "Span",
+    "SpanEvent",
+    "Recorder",
+    "NullRecorder",
+    "NullSpan",
+    "SpanRecorder",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+    "using_recorder",
+    "recording",
+    "TRACE_VERSION",
+    "TraceSchemaError",
+    "span_to_dict",
+    "span_from_dict",
+    "trace_to_dict",
+    "trace_from_dict",
+    "validate_trace",
+    "write_trace",
+    "load_trace",
+    "render_trace",
+]

@@ -1,0 +1,309 @@
+"""Trace exporters: JSON round-trip, schema validation, text rendering.
+
+The on-disk trace format (written by ``--trace``, read by
+``trace-report`` and CI) is one JSON object::
+
+    {
+      "version": 1,
+      "clock": "perf_counter",
+      "spans": [ <span>, ... ]
+    }
+
+where each ``<span>`` is::
+
+    {
+      "name": "mapper.map",
+      "t_start": 0.0123,            # seconds on the recorder's clock
+      "t_end": 0.0456,              # null while open (never in a file)
+      "attrs": {"mapper": "geo-distributed", ...},
+      "counters": {"memo.groups_resumed": 18, ...},
+      "events": [{"name": "...", "t": 0.02, "attrs": {...}}, ...],
+      "children": [ <span>, ... ]
+    }
+
+:func:`validate_trace` is the schema's executable definition — it
+rejects anything that does not load back into :class:`Span` objects, so
+a trace that validates is guaranteed to round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .spans import Span, SpanEvent
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceSchemaError",
+    "span_to_dict",
+    "span_from_dict",
+    "trace_to_dict",
+    "trace_from_dict",
+    "validate_trace",
+    "write_trace",
+    "load_trace",
+    "render_trace",
+]
+
+#: Format version stamped into every written trace.
+TRACE_VERSION = 1
+
+
+class TraceSchemaError(ValueError):
+    """A trace document does not conform to the span schema."""
+
+
+# ----------------------------------------------------------------- to JSON
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """One span (and its subtree) as a JSON-ready dict."""
+    return {
+        "name": span.name,
+        "t_start": span.t_start,
+        "t_end": span.t_end,
+        "attrs": span.attrs,
+        "counters": span.counters,
+        "events": [
+            {"name": ev.name, "t": ev.t, "attrs": ev.attrs} for ev in span.events
+        ],
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def trace_to_dict(spans: Iterable[Span]) -> dict[str, Any]:
+    """A whole trace document from root spans."""
+    return {
+        "version": TRACE_VERSION,
+        "clock": "perf_counter",
+        "spans": [span_to_dict(s) for s in spans],
+    }
+
+
+# --------------------------------------------------------------- from JSON
+
+
+def _expect(cond: bool, where: str, message: str) -> None:
+    if not cond:
+        raise TraceSchemaError(f"{where}: {message}")
+
+
+def _check_jsonable(value: Any, where: str) -> None:
+    """Reject attr payloads JSON cannot represent losslessly."""
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return
+    if isinstance(value, list):
+        for i, item in enumerate(value):
+            _check_jsonable(item, f"{where}[{i}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _expect(isinstance(key, str), where, f"non-string key {key!r}")
+            _check_jsonable(item, f"{where}.{key}")
+        return
+    raise TraceSchemaError(f"{where}: non-JSON value of type {type(value).__name__}")
+
+
+def span_from_dict(obj: Any, where: str = "span") -> Span:
+    """Parse (and validate) one span dict into a :class:`Span` tree."""
+    _expect(isinstance(obj, dict), where, "span must be an object")
+    unknown = set(obj) - {
+        "name", "t_start", "t_end", "attrs", "counters", "events", "children",
+    }
+    _expect(not unknown, where, f"unknown keys {sorted(unknown)}")
+    name = obj.get("name")
+    _expect(
+        isinstance(name, str) and bool(name), where, "name must be a non-empty string"
+    )
+    t_start = obj.get("t_start")
+    _expect(
+        isinstance(t_start, (int, float)) and not isinstance(t_start, bool),
+        where,
+        "t_start must be a number",
+    )
+    t_end = obj.get("t_end")
+    _expect(
+        t_end is None
+        or (isinstance(t_end, (int, float)) and not isinstance(t_end, bool)),
+        where,
+        "t_end must be a number or null",
+    )
+    if t_end is not None:
+        _expect(t_end >= t_start, where, "t_end must be >= t_start")
+    attrs = obj.get("attrs", {})
+    _expect(isinstance(attrs, dict), where, "attrs must be an object")
+    _check_jsonable(attrs, f"{where}.attrs")
+    counters = obj.get("counters", {})
+    _expect(isinstance(counters, dict), where, "counters must be an object")
+    for key, val in counters.items():
+        _expect(isinstance(key, str), where, f"counter key {key!r} must be a string")
+        _expect(
+            isinstance(val, (int, float)) and not isinstance(val, bool),
+            where,
+            f"counter {key!r} must be numeric",
+        )
+    raw_events = obj.get("events", [])
+    _expect(isinstance(raw_events, list), where, "events must be an array")
+    events: list[SpanEvent] = []
+    for i, ev in enumerate(raw_events):
+        ev_where = f"{where}.events[{i}]"
+        _expect(isinstance(ev, dict), ev_where, "event must be an object")
+        ev_name = ev.get("name")
+        _expect(
+            isinstance(ev_name, str) and bool(ev_name),
+            ev_where,
+            "name must be a non-empty string",
+        )
+        ev_t = ev.get("t")
+        _expect(
+            isinstance(ev_t, (int, float)) and not isinstance(ev_t, bool),
+            ev_where,
+            "t must be a number",
+        )
+        ev_attrs = ev.get("attrs", {})
+        _expect(isinstance(ev_attrs, dict), ev_where, "attrs must be an object")
+        _check_jsonable(ev_attrs, f"{ev_where}.attrs")
+        events.append(SpanEvent(name=ev_name, t=float(ev_t), attrs=dict(ev_attrs)))
+    raw_children = obj.get("children", [])
+    _expect(isinstance(raw_children, list), where, "children must be an array")
+    children = [
+        span_from_dict(child, f"{where}.children[{i}]")
+        for i, child in enumerate(raw_children)
+    ]
+    return Span(
+        name=name,
+        t_start=float(t_start),
+        t_end=None if t_end is None else float(t_end),
+        attrs=dict(attrs),
+        counters={k: v for k, v in counters.items()},
+        events=events,
+        children=children,
+    )
+
+
+def trace_from_dict(obj: Any) -> list[Span]:
+    """Parse a whole trace document; alias of :func:`validate_trace`."""
+    return validate_trace(obj)
+
+
+def validate_trace(obj: Any) -> list[Span]:
+    """Validate a trace document against the span schema.
+
+    Returns the parsed root spans on success; raises
+    :class:`TraceSchemaError` naming the offending path otherwise.
+    """
+    _expect(isinstance(obj, dict), "trace", "document must be a JSON object")
+    version = obj.get("version")
+    _expect(
+        isinstance(version, int) and not isinstance(version, bool),
+        "trace",
+        "version must be an integer",
+    )
+    _expect(
+        version == TRACE_VERSION,
+        "trace",
+        f"unsupported version {version} (expected {TRACE_VERSION})",
+    )
+    clock = obj.get("clock")
+    _expect(isinstance(clock, str), "trace", "clock must be a string")
+    spans = obj.get("spans")
+    _expect(isinstance(spans, list), "trace", "spans must be an array")
+    return [
+        span_from_dict(span, f"trace.spans[{i}]") for i, span in enumerate(spans)
+    ]
+
+
+# -------------------------------------------------------------------- files
+
+
+def write_trace(path: str | Path, spans: Iterable[Span]) -> Path:
+    """Serialize root spans to ``path`` as a trace document."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(spans), indent=2) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> list[Span]:
+    """Load and validate a trace document from ``path``."""
+    try:
+        obj = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceSchemaError(f"trace: not valid JSON ({exc})") from exc
+    return validate_trace(obj)
+
+
+# ------------------------------------------------------------------ render
+
+
+def _fmt_duration(seconds: float | None) -> str:
+    if seconds is None:
+        return "   (open)"
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s"
+    return f"{seconds * 1e3:8.3f} ms"
+
+
+def _fmt_payload(span: Span) -> str:
+    parts: list[str] = []
+    for key, val in span.attrs.items():
+        if isinstance(val, float):
+            parts.append(f"{key}={val:.6g}")
+        else:
+            parts.append(f"{key}={val!r}" if isinstance(val, str) else f"{key}={val}")
+    for key, val in span.counters.items():
+        parts.append(f"{key}={val:g}")
+    if span.events:
+        parts.append(f"events={len(span.events)}")
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
+def render_trace(
+    spans: Sequence[Span],
+    *,
+    max_depth: int | None = None,
+    max_children: int = 40,
+) -> str:
+    """Human-readable span-tree summary (the ``trace-report`` body).
+
+    ``max_depth`` prunes the tree below that depth; ``max_children``
+    elides the middle of very wide fan-outs (e.g. thousands of
+    ``geodist.order`` spans) while keeping head and tail.
+    """
+    if max_depth is not None and max_depth < 1:
+        raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+    if max_children < 2:
+        raise ValueError(f"max_children must be >= 2, got {max_children}")
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{_fmt_duration(span.duration_s)}  {indent}{span.name}{_fmt_payload(span)}"
+        )
+        if max_depth is not None and depth + 1 >= max_depth:
+            if span.children:
+                lines.append(
+                    f"{'':>11}  {indent}  ... {len(span.children)} child span(s) pruned"
+                )
+            return
+        children = span.children
+        if len(children) > max_children:
+            head = children[: max_children // 2]
+            tail = children[-(max_children - len(head)) :]
+            for child in head:
+                walk(child, depth + 1)
+            lines.append(
+                f"{'':>11}  {indent}  ... {len(children) - len(head) - len(tail)} "
+                "span(s) elided ..."
+            )
+            for child in tail:
+                walk(child, depth + 1)
+        else:
+            for child in children:
+                walk(child, depth + 1)
+
+    for root in spans:
+        walk(root, 0)
+    return "\n".join(lines)

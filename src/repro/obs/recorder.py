@@ -1,0 +1,261 @@
+"""Recorders: where instrumented code sends its spans.
+
+Instrumented layers never hold a recorder — they fetch the ambient one
+with :func:`get_recorder` at each entry point:
+
+.. code-block:: python
+
+    obs = get_recorder()
+    with obs.span("mapper.map", mapper=self.name) as sp:
+        ...
+        sp.set(cost=cost)
+
+The default ambient recorder is :data:`NULL_RECORDER`, whose ``span()``
+hands back one shared no-op object — the disabled path costs a context
+variable read, one method call, and a ``with`` block, nothing else.
+Installing a :class:`SpanRecorder` (via :func:`using_recorder` or
+:func:`recording`) turns the same call sites into a trace tree.
+
+The ambient recorder and the current open span both live in
+:mod:`contextvars` context variables, so concurrent runs in different
+threads or tasks do not interleave their trees — *provided* the context
+propagates.  Threads started by hand begin with an empty context; code
+that fans work out to a pool should run each task under
+:func:`contextvars.copy_context` (as the Geo mapper's ``workers`` path
+does) if it wants child spans parented correctly.  :class:`SpanRecorder`
+serializes tree mutation with a lock, so worker-thread spans are safe
+either way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar, Token
+from types import TracebackType
+from typing import Callable, Iterator, Protocol, runtime_checkable
+
+from .spans import JSONValue, Span, SpanEvent
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NullSpan",
+    "SpanRecorder",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+    "using_recorder",
+    "recording",
+]
+
+
+class NullSpan:
+    """The shared no-op span handle the disabled path hands out.
+
+    Mirrors the mutating surface of :class:`~repro.obs.spans.Span`
+    (``set`` / ``add``) and the context-manager protocol, doing nothing.
+    A single instance is reused for every disabled span, so the fast
+    path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        return False
+
+    def set(self, **attrs: JSONValue) -> "NullSpan":
+        return self
+
+    def add(self, name: str, value: float = 1) -> "NullSpan":
+        return self
+
+
+_NULL_SPAN = NullSpan()
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """What instrumented code may ask of the ambient recorder."""
+
+    @property
+    def enabled(self) -> bool:
+        """False only for the no-op recorder; hot paths may gate on it."""
+        ...
+
+    def span(
+        self, name: str, **attrs: JSONValue
+    ) -> "_OpenSpan | NullSpan":
+        """Context manager opening a child span of the current span."""
+        ...
+
+    def counter(self, name: str, value: float = 1) -> None:
+        """Bump a counter on the current span."""
+        ...
+
+    def event(self, name: str, **attrs: JSONValue) -> None:
+        """Record a point-in-time event on the current span."""
+        ...
+
+
+class NullRecorder:
+    """The default ambient recorder: records nothing, costs ~nothing."""
+
+    __slots__ = ()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs: JSONValue) -> NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: float = 1) -> None:
+        return None
+
+    def event(self, name: str, **attrs: JSONValue) -> None:
+        return None
+
+
+NULL_RECORDER = NullRecorder()
+
+#: The span new child spans attach to (per execution context).
+_CURRENT_SPAN: ContextVar[Span | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class _OpenSpan:
+    """Context manager materializing one span on enter/exit.
+
+    On enter it stamps ``t_start``, attaches the span to the current
+    span's children (or the recorder's roots) under the recorder lock,
+    and makes it current for the enclosed block.  On exit it stamps
+    ``t_end``, tags the span with the exception type if the block
+    raised, and restores the previous current span.
+    """
+
+    __slots__ = ("_recorder", "_span", "_token")
+
+    def __init__(self, recorder: "SpanRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+        self._token: Token[Span | None] | None = None
+
+    def __enter__(self) -> Span:
+        rec = self._recorder
+        span = self._span
+        span.t_start = rec.clock()
+        parent = _CURRENT_SPAN.get()
+        with rec._lock:
+            (parent.children if parent is not None else rec.roots).append(span)
+        self._token = _CURRENT_SPAN.set(span)
+        return span
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        span = self._span
+        span.t_end = self._recorder.clock()
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+        return False
+
+
+class SpanRecorder:
+    """Collects spans into a forest of trace trees.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning monotonic seconds.  Defaults to
+        :func:`time.perf_counter`; tests inject a fake for deterministic
+        timings.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        #: Top-level spans, in creation order.
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def span(self, name: str, **attrs: JSONValue) -> _OpenSpan:
+        return _OpenSpan(self, Span(name=name, attrs=dict(attrs)))
+
+    def counter(self, name: str, value: float = 1) -> None:
+        current = _CURRENT_SPAN.get()
+        if current is not None:
+            with self._lock:
+                current.counters[name] = current.counters.get(name, 0) + value
+
+    def event(self, name: str, **attrs: JSONValue) -> None:
+        current = _CURRENT_SPAN.get()
+        if current is not None:
+            ev = SpanEvent(name=name, t=self.clock(), attrs=dict(attrs))
+            with self._lock:
+                current.events.append(ev)
+
+
+#: The ambient recorder for the current execution context.
+_RECORDER: ContextVar[Recorder] = ContextVar(
+    "repro_obs_recorder", default=NULL_RECORDER
+)
+
+
+def get_recorder() -> Recorder:
+    """The ambient recorder (the no-op one unless something installed)."""
+    return _RECORDER.get()
+
+
+def set_recorder(recorder: Recorder) -> None:
+    """Install ``recorder`` as the ambient recorder for this context.
+
+    Prefer the scoped :func:`using_recorder` unless the surrounding
+    lifetime genuinely is the whole program (e.g. the CLI).
+    """
+    _RECORDER.set(recorder)
+
+
+@contextmanager
+def using_recorder(recorder: Recorder) -> Iterator[Recorder]:
+    """Scope ``recorder`` as the ambient recorder for a ``with`` block."""
+    token = _RECORDER.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _RECORDER.reset(token)
+
+
+@contextmanager
+def recording(
+    *, clock: Callable[[], float] = time.perf_counter
+) -> Iterator[SpanRecorder]:
+    """Install a fresh :class:`SpanRecorder` for a ``with`` block.
+
+    .. code-block:: python
+
+        with recording() as rec:
+            mapper.map(problem)
+        print(render_trace(rec.roots))
+    """
+    recorder = SpanRecorder(clock=clock)
+    with using_recorder(recorder):
+        yield recorder

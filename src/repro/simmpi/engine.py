@@ -202,7 +202,39 @@ class Simulator:
     # -------------------------------------------------------------------- run
 
     def run(self) -> SimResult:
-        """Execute the program to completion and return the statistics."""
+        """Execute the program to completion and return the statistics.
+
+        The run executes under a ``simulate.run`` observability span
+        carrying the aggregate statistics; when the network model
+        collects per-site-pair stats (see
+        :class:`~repro.simmpi.network.SimNetwork`), each pair lands on
+        the span as a ``network.link`` event with its transfer count,
+        bytes, and contention stall time.
+        """
+        from ..obs import get_recorder
+
+        obs = get_recorder()
+        with obs.span(
+            "simulate.run",
+            num_ranks=self.num_ranks,
+            compute_scale=self.compute_scale,
+        ) as root:
+            result = self._run()
+            root.set(
+                makespan_s=result.makespan_s,
+                total_messages=result.total_messages,
+                total_bytes=result.total_bytes,
+                comm_wait_s=result.comm_wait_s,
+                barriers=result.barriers,
+            )
+            if obs.enabled:
+                link_stats = getattr(self.network, "link_stats", None)
+                if link_stats is not None:
+                    for entry in link_stats():
+                        obs.event("network.link", **entry)
+            return result
+
+    def _run(self) -> SimResult:
         n = self.num_ranks
         self.network.reset()
         states = [

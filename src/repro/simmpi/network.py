@@ -34,6 +34,12 @@ class SimNetwork:
         If True (default), serialize cross-site transfers per directed
         site pair; if False, links have infinite parallelism and the model
         reduces to pure alpha-beta.
+    collect_stats:
+        Accumulate per-directed-site-pair transfer counts, bytes, and
+        contention stall time (readable via :meth:`link_stats`).  The
+        default ``None`` defers the decision to :meth:`reset`: stats are
+        collected exactly when the ambient observability recorder is
+        enabled, so plain simulations pay nothing.
     """
 
     def __init__(
@@ -42,16 +48,55 @@ class SimNetwork:
         assignment: np.ndarray,
         *,
         contention: bool = True,
+        collect_stats: bool | None = None,
     ) -> None:
         self.assignment = validate_assignment(problem, assignment)
         self.latency = problem.LT
         self.bandwidth = problem.BT
         self.contention = bool(contention)
+        self.collect_stats = collect_stats
         self._link_free: dict[tuple[int, int], float] = {}
+        self._stats_on = False
+        # Per directed site pair: [transfers, bytes, stall_s].
+        self._pair_stats: dict[tuple[int, int], list[float]] = {}
 
     def reset(self) -> None:
-        """Clear link occupancy (e.g. between repeated runs)."""
+        """Clear link occupancy and stats (e.g. between repeated runs)."""
         self._link_free.clear()
+        self._pair_stats.clear()
+        if self.collect_stats is None:
+            from ..obs import get_recorder
+
+            self._stats_on = get_recorder().enabled
+        else:
+            self._stats_on = bool(self.collect_stats)
+
+    def _record(self, key: tuple[int, int], nbytes: int, stall: float) -> None:
+        entry = self._pair_stats.get(key)
+        if entry is None:
+            entry = self._pair_stats[key] = [0, 0, 0.0]
+        entry[0] += 1
+        entry[1] += nbytes
+        entry[2] += stall
+
+    def link_stats(self) -> list[dict]:
+        """Per-directed-site-pair totals since the last :meth:`reset`.
+
+        Each entry is ``{"src_site", "dst_site", "transfers", "bytes",
+        "stall_s"}``; pairs are sorted for deterministic output.  Empty
+        unless stats collection was on for the run (see
+        ``collect_stats``).
+        """
+        return [
+            {
+                "src_site": a,
+                "dst_site": b,
+                "transfers": int(entry[0]),
+                "bytes": int(entry[1]),
+                "stall_s": float(entry[2]),
+            }
+            for (a, b), entry in sorted(self._pair_stats.items())
+        ]
 
     def transfer(self, src: int, dst: int, nbytes: int, ready: float) -> float:
         """Completion time of an ``nbytes`` transfer ready at ``ready``.
@@ -63,10 +108,14 @@ class SimNetwork:
         alpha = self.latency[a, b]
         busy = nbytes / self.bandwidth[a, b]
         if a == b or not self.contention:
+            if self._stats_on:
+                self._record((a, b), nbytes, 0.0)
             return ready + alpha + busy
         key = (a, b)
         start = max(ready, self._link_free.get(key, 0.0))
         self._link_free[key] = start + busy
+        if self._stats_on:
+            self._record(key, nbytes, start - ready)
         return start + alpha + busy
 
 

@@ -34,8 +34,9 @@ def test_refinement_never_hurts_the_coarse_view(topo4):
     from repro.baselines.mpipp import _part_sizes
 
     labels = kway_partition(p.CG, _part_sizes(p), seed=rng)
-    refined = mapper._refine(coarse, labels.astype(np.int64))
+    refined, passes = mapper._refine(coarse, labels.astype(np.int64))
     assert total_cost(coarse, refined) <= total_cost(coarse, labels) + 1e-9
+    assert 1 <= passes <= mapper.max_passes
 
 
 def test_coarse_problem_is_two_level_symmetric(problem64):

@@ -67,6 +67,26 @@ def test_mapping_is_immutable_and_validates():
         Mapping(assignment=np.array([0]), cost=float("nan"), mapper="test")
 
 
+def test_mapping_meta_is_defensively_copied():
+    meta = {"order": [1, 0]}
+    m = Mapping(assignment=np.array([0, 1]), cost=1.0, mapper="test", meta=meta)
+    meta["order"] = "clobbered"
+    meta["new"] = True
+    assert m.meta == {"order": [1, 0]}
+
+
+def test_mapper_map_propagates_solver_meta(problem16):
+    class WithMeta(Mapper):
+        name = "with-meta-test"
+
+        def _solve(self, problem, rng):
+            P = np.zeros(problem.num_processes, dtype=np.int64)
+            return P, {"detail": 42}
+
+    m = WithMeta().map(problem16, seed=0)
+    assert m.meta == {"detail": 42}
+
+
 def test_mapper_map_validates_and_times(problem16):
     class Constant(Mapper):
         name = "constant-test"

@@ -1,0 +1,152 @@
+"""Unit tests for trace serialization, validation, and rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_VERSION,
+    Span,
+    SpanEvent,
+    SpanRecorder,
+    TraceSchemaError,
+    load_trace,
+    render_trace,
+    span_to_dict,
+    trace_to_dict,
+    using_recorder,
+    validate_trace,
+    write_trace,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 0.5
+        return self.t
+
+
+def _sample_roots() -> list[Span]:
+    rec = SpanRecorder(clock=FakeClock())
+    with using_recorder(rec):
+        with rec.span("mapper.map", mapper="geo-distributed") as root:
+            with rec.span("solve") as solve:
+                solve.add("memo.hits", 7)
+            rec.event("network.link", src_site=0, dst_site=1, bytes=128)
+            root.set(cost=12.5)
+    return rec.roots
+
+
+def test_round_trip_through_file(tmp_path):
+    roots = _sample_roots()
+    path = write_trace(tmp_path / "trace.json", roots)
+    loaded = load_trace(path)
+    assert trace_to_dict(loaded) == trace_to_dict(roots)
+    root = loaded[0]
+    assert root.name == "mapper.map"
+    assert root.attrs == {"mapper": "geo-distributed", "cost": 12.5}
+    assert root.children[0].counters == {"memo.hits": 7}
+    assert root.events[0].attrs == {"src_site": 0, "dst_site": 1, "bytes": 128}
+    assert root.duration_s is not None and root.duration_s > 0
+
+
+def test_validate_trace_returns_spans():
+    doc = trace_to_dict(_sample_roots())
+    spans = validate_trace(doc)
+    assert [s.name for s in spans] == ["mapper.map"]
+
+
+@pytest.mark.parametrize(
+    "mutate, match",
+    [
+        (lambda d: d.pop("version"), "version"),
+        (lambda d: d.update(version=99), "unsupported version"),
+        (lambda d: d.pop("clock"), "clock"),
+        (lambda d: d.update(spans={}), "spans must be an array"),
+        (lambda d: d["spans"][0].pop("name"), "name must be a non-empty string"),
+        (lambda d: d["spans"][0].update(name=""), "name must be a non-empty string"),
+        (lambda d: d["spans"][0].update(t_start="x"), "t_start must be a number"),
+        (lambda d: d["spans"][0].update(t_end=-1.0), "t_end must be >= t_start"),
+        (lambda d: d["spans"][0].update(bogus=1), "unknown keys"),
+        (lambda d: d["spans"][0]["counters"].update(n="x"), "must be numeric"),
+        (
+            lambda d: d["spans"][0]["children"][0].update(t_start=None),
+            r"children\[0\]",
+        ),
+        (
+            lambda d: d["spans"][0]["events"][0].pop("t"),
+            "t must be a number",
+        ),
+    ],
+)
+def test_validate_trace_rejects_schema_violations(mutate, match):
+    doc = trace_to_dict(_sample_roots())
+    mutate(doc)
+    with pytest.raises(TraceSchemaError, match=match):
+        validate_trace(doc)
+
+
+def test_validate_rejects_non_json_attr_values():
+    root = Span(name="bad", t_start=0.0, t_end=1.0, attrs={"obj": object()})
+    with pytest.raises(TraceSchemaError, match="non-JSON value"):
+        validate_trace(trace_to_dict([root]))
+
+
+def test_load_trace_rejects_malformed_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(TraceSchemaError, match="not valid JSON"):
+        load_trace(path)
+
+
+def test_span_to_dict_shape():
+    span = Span(
+        name="s",
+        t_start=1.0,
+        t_end=2.0,
+        events=[SpanEvent(name="e", t=1.5)],
+        children=[Span(name="c", t_start=1.1, t_end=1.9)],
+    )
+    doc = span_to_dict(span)
+    assert set(doc) == {
+        "name", "t_start", "t_end", "attrs", "counters", "events", "children",
+    }
+    assert doc["children"][0]["name"] == "c"
+    json.dumps(doc)  # must be JSON-serializable as-is
+
+
+def test_trace_version_is_stamped():
+    doc = trace_to_dict([])
+    assert doc["version"] == TRACE_VERSION
+    assert doc["clock"] == "perf_counter"
+
+
+def test_render_trace_tree_and_pruning():
+    roots = _sample_roots()
+    text = render_trace(roots)
+    assert "mapper.map" in text and "solve" in text
+    assert "memo.hits=7" in text
+    pruned = render_trace(roots, max_depth=1)
+    assert "solve" not in pruned
+    assert "1 child span(s) pruned" in pruned
+
+
+def test_render_trace_elides_wide_fanout():
+    parent = Span(name="parent", t_start=0.0, t_end=1.0)
+    parent.children = [
+        Span(name=f"child{i}", t_start=0.0, t_end=0.1) for i in range(50)
+    ]
+    text = render_trace([parent], max_children=10)
+    assert "span(s) elided" in text
+    assert "child0" in text and "child49" in text
+    assert "child25" not in text
+
+
+def test_render_trace_rejects_bad_limits():
+    with pytest.raises(ValueError, match="max_depth"):
+        render_trace([], max_depth=0)
+    with pytest.raises(ValueError, match="max_children"):
+        render_trace([], max_children=1)

@@ -1,0 +1,200 @@
+"""Integration tests: the instrumented layers produce coherent traces.
+
+These exercise the acceptance path of the observability refactor: a
+mapping run under a recorder yields the four pipeline stages, the Geo
+mapper hangs one ``geodist.order`` child per evaluated permutation and
+surfaces its chosen order + memo statistics in ``Mapping.meta``, the
+simulator emits per-site-pair link events, and the resilient runner
+records retries.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import MonteCarloMapper, SimulatedAnnealingMapper
+from repro.core import GeoDistributedMapper, get_mapper
+from repro.exp.runner import ResilientRunner, run_comparison, simulate_mapping
+from repro.obs import recording
+from tests.conftest import make_problem
+
+PIPELINE_STAGES = ["feasibility", "solve", "validate", "cost"]
+
+
+def test_mapper_map_trace_has_pipeline_stages(problem16):
+    with recording() as rec:
+        get_mapper("greedy").map(problem16, seed=0)
+    assert [s.name for s in rec.roots] == ["mapper.map"]
+    root = rec.roots[0]
+    assert [c.name for c in root.children] == PIPELINE_STAGES
+    assert root.attrs["mapper"] == "greedy"
+    assert isinstance(root.attrs["cost"], float)
+    assert root.attrs["elapsed_s"] >= 0.0
+    for child in root.children:
+        assert child.t_end is not None
+        assert root.t_start <= child.t_start <= child.t_end <= root.t_end
+
+
+def test_geodist_records_per_order_spans_and_meta(problem16):
+    mapper = GeoDistributedMapper()
+    with recording() as rec:
+        mapping = mapper.map(problem16, seed=0)
+    solve = rec.roots[0].find("solve")
+    orders = solve.find_all("geodist.order")
+    kappa = problem16.num_sites
+    assert len(orders) == math.factorial(kappa)
+    # Every evaluated permutation is recorded with its cost.
+    assert {tuple(o.attrs["order"]) for o in orders} == {
+        tuple(p) for p in itertools.permutations(range(kappa))
+    }
+    best = min(orders, key=lambda o: o.attrs["cost"])
+    assert mapping.meta["chosen_order"] == best.attrs["order"]
+    # Shared-prefix memoization: later orders resume a non-trivial prefix.
+    assert mapping.meta["memo"]["enabled"]
+    assert mapping.meta["memo"]["hits"] > 0
+    assert mapping.meta["memo"]["misses"] > 0
+    assert mapping.meta["orders_evaluated"] == len(orders)
+    fill = mapping.meta["fill"]
+    assert fill["seed_picks"] + fill["affinity_picks"] + fill["fallback_picks"] > 0
+
+
+def test_geodist_meta_identical_with_worker_threads(problem16):
+    serial = GeoDistributedMapper(workers=1).map(problem16, seed=0)
+    threaded = GeoDistributedMapper(workers=4).map(problem16, seed=0)
+    np.testing.assert_array_equal(serial.assignment, threaded.assignment)
+    assert serial.meta["chosen_order"] == threaded.meta["chosen_order"]
+    assert serial.meta["memo"] == threaded.meta["memo"]
+    assert serial.meta["fill"] == threaded.meta["fill"]
+
+
+def test_geodist_threaded_orders_parent_under_solve(problem16):
+    with recording() as rec:
+        GeoDistributedMapper(workers=4).map(problem16, seed=0)
+    assert len(rec.roots) == 1  # nothing escaped to a new root
+    solve = rec.roots[0].find("solve")
+    assert len(solve.find_all("geodist.order")) == math.factorial(
+        problem16.num_sites
+    )
+
+
+def test_annealing_and_montecarlo_meta(problem16):
+    ann = SimulatedAnnealingMapper(steps=200, restarts=2).map(problem16, seed=0)
+    assert ann.meta["restarts"] == 2
+    assert 0 <= ann.meta["best_restart"] < 2
+    assert ann.meta["proposals"] > 0
+    assert (
+        ann.meta["accepted_moves"] + ann.meta["accepted_swaps"]
+        <= ann.meta["proposals"]
+    )
+
+    mc = MonteCarloMapper(samples=3000).map(problem16, seed=0)
+    assert mc.meta["samples"] == 3000
+    assert mc.meta["batches"] == 2  # 2048 + 952
+    assert 0 <= mc.meta["best_sample_index"] < 3000
+    assert mc.meta["best_sampled_cost"] == pytest.approx(mc.cost)
+
+
+def test_simulator_emits_link_events(topo2):
+    problem = make_problem(8, topo2, seed=3)
+    from repro.apps import make_paper_app
+
+    app = make_paper_app("LU", 8)
+    assignment = get_mapper("baseline").map(problem, seed=0).assignment
+    with recording() as rec:
+        result = simulate_mapping(app, problem, assignment, mode="comm")
+    run = rec.roots[0].find("simulate.run")
+    assert run.attrs["makespan_s"] == pytest.approx(result.makespan_s)
+    links = [e for e in run.events if e.name == "network.link"]
+    assert links, "per-site-pair link events missing"
+    assert sum(e.attrs["bytes"] for e in links) == result.total_bytes
+    for e in links:
+        assert {"src_site", "dst_site", "transfers", "bytes", "stall_s"} <= set(
+            e.attrs
+        )
+        assert e.attrs["stall_s"] >= 0.0
+
+
+def test_simulator_collects_no_link_stats_without_recorder(topo2):
+    problem = make_problem(8, topo2, seed=3)
+    from repro.simmpi.network import SimNetwork
+
+    net = SimNetwork(problem, np.repeat([0, 1], 4))
+    net.reset()
+    net.transfer(0, 1, 100, 0.0)
+    assert net.link_stats() == []  # stats off when no recorder installed
+
+
+def test_run_comparison_trace_groups_by_mapper(problem16):
+    from repro.apps import make_paper_app
+
+    app = make_paper_app("LU", 16)
+    mappers = {"A": get_mapper("baseline"), "B": get_mapper("greedy")}
+    with recording() as rec:
+        run_comparison(app, problem16, mappers, seed=0, simulate=False)
+    names = [s.name for s in rec.roots]
+    assert names == ["comparison.mapper", "comparison.mapper"]
+    assert [s.attrs["key"] for s in rec.roots] == ["A", "B"]
+    for root in rec.roots:
+        assert root.find("mapper.map") is not None
+        assert "cost" in root.attrs and "map_elapsed_s" in root.attrs
+
+
+def test_resilient_runner_records_retries_and_outcome():
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise RuntimeError("transient")
+        return {"ok": True}
+
+    runner = ResilientRunner(max_retries=2, backoff_base_s=0.0, sleep=lambda s: None)
+    with recording() as rec:
+        outcomes = runner.run({"cell": flaky})
+    assert outcomes["cell"].ok and outcomes["cell"].attempts == 3
+    sweep = rec.roots[0]
+    assert sweep.name == "runner.sweep"
+    assert sweep.attrs["ok"] == 1 and sweep.attrs["failed"] == 0
+    scenario = sweep.find("runner.scenario")
+    assert scenario.attrs["status"] == "ok"
+    assert scenario.attrs["attempts"] == 3
+    failures = [e for e in scenario.events if e.name == "runner.attempt_failed"]
+    retries = [e for e in scenario.events if e.name == "runner.retry"]
+    assert len(failures) == 2 and len(retries) == 2
+    assert failures[0].attrs["error"].startswith("RuntimeError")
+
+
+def test_resilient_runner_records_checkpoint_replay(tmp_path):
+    store = tmp_path / "ckpt.json"
+    runner = ResilientRunner(checkpoint=store)
+    runner.run({"cell": lambda: {"v": 1}})
+    with recording() as rec:
+        outcomes = runner.run({"cell": lambda: {"v": 2}}, resume=True)
+    assert outcomes["cell"].from_checkpoint
+    assert outcomes["cell"].result == {"v": 1}
+    sweep = rec.roots[0]
+    assert sweep.attrs["replayed"] == 1
+    replays = [e for e in sweep.events if e.name == "runner.checkpoint_replay"]
+    assert len(replays) == 1 and replays[0].attrs["key"] == "cell"
+
+
+def test_repair_trace_stages(topo2):
+    from repro.core.repair import UNPLACED, IncrementalRepairMapper
+
+    problem = make_problem(6, topo2, seed=5)
+    base = get_mapper("geo-distributed").map(problem, seed=0).assignment
+    partial = base.copy()
+    partial[:2] = UNPLACED
+    with recording() as rec:
+        result = IncrementalRepairMapper(extra_moves=1).repair(problem, partial)
+    root = rec.roots[0]
+    assert root.name == "repair.run"
+    stages = [c.name for c in root.children]
+    assert stages == [
+        "repair.evict", "repair.place", "repair.polish", "repair.global_polish",
+    ]
+    assert root.attrs["num_migrated"] == result.num_migrated
+    assert result.mapping.meta["polish_rounds"] >= 1
+    assert result.mapping.meta["evicted"] == 0

@@ -1,0 +1,154 @@
+"""Unit tests for the span recorder and the no-op fast path."""
+
+import contextvars
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    NullSpan,
+    SpanRecorder,
+    get_recorder,
+    recording,
+    using_recorder,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each read advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def test_default_recorder_is_the_noop_singleton():
+    rec = get_recorder()
+    assert rec is NULL_RECORDER
+    assert not rec.enabled
+    span = rec.span("anything", attr=1)
+    assert isinstance(span, NullSpan)
+    # The no-op path hands out one shared instance: no allocation.
+    assert rec.span("other") is span
+    with span as sp:
+        sp.set(cost=1.0).add("counter")
+    # counter/event are accepted and dropped.
+    rec.counter("n", 2)
+    rec.event("ev", detail="x")
+
+
+def test_span_tree_nesting_and_timing():
+    clock = FakeClock()
+    rec = SpanRecorder(clock=clock)
+    with using_recorder(rec):
+        with rec.span("outer", label="o") as outer:
+            with rec.span("inner") as inner:
+                inner.add("ticks", 3)
+            outer.set(done=True)
+    assert [s.name for s in rec.roots] == ["outer"]
+    root = rec.roots[0]
+    assert root.attrs == {"label": "o", "done": True}
+    assert [c.name for c in root.children] == ["inner"]
+    child = root.children[0]
+    assert child.counters == {"ticks": 3}
+    # FakeClock stamps 1, 2 (inner start/end 2, 3)... all strictly ordered.
+    assert root.t_start < child.t_start
+    assert child.t_end is not None and root.t_end is not None
+    assert child.t_end <= root.t_end
+    assert root.duration_s == root.t_end - root.t_start
+
+
+def test_counter_and_event_attach_to_current_span():
+    rec = SpanRecorder(clock=FakeClock())
+    with using_recorder(rec):
+        with rec.span("work"):
+            obs = get_recorder()
+            obs.counter("bytes", 10)
+            obs.counter("bytes", 5)
+            obs.event("retry", attempt=0)
+    span = rec.roots[0]
+    assert span.counters == {"bytes": 15}
+    assert [e.name for e in span.events] == ["retry"]
+    assert span.events[0].attrs == {"attempt": 0}
+    assert span.t_start <= span.events[0].t <= span.t_end
+
+
+def test_counter_event_outside_any_span_are_dropped():
+    rec = SpanRecorder(clock=FakeClock())
+    rec.counter("orphan")
+    rec.event("orphan")
+    assert rec.roots == []
+
+
+def test_exception_tags_span_and_propagates():
+    rec = SpanRecorder(clock=FakeClock())
+    with pytest.raises(RuntimeError, match="boom"):
+        with using_recorder(rec):
+            with rec.span("failing"):
+                raise RuntimeError("boom")
+    span = rec.roots[0]
+    assert span.attrs["error"] == "RuntimeError"
+    assert span.t_end is not None  # closed despite the raise
+
+
+def test_using_recorder_scopes_and_restores():
+    rec = SpanRecorder(clock=FakeClock())
+    assert get_recorder() is NULL_RECORDER
+    with using_recorder(rec) as installed:
+        assert installed is rec
+        assert get_recorder() is rec
+    assert get_recorder() is NULL_RECORDER
+
+
+def test_recording_contextmanager_yields_fresh_recorder():
+    with recording(clock=FakeClock()) as rec:
+        assert get_recorder() is rec
+        with rec.span("a"):
+            pass
+    assert get_recorder() is NULL_RECORDER
+    assert [s.name for s in rec.roots] == ["a"]
+
+
+def test_worker_threads_parent_correctly_under_copied_context():
+    rec = SpanRecorder(clock=FakeClock())
+    with using_recorder(rec):
+        with rec.span("parent"):
+
+            def work(idx: int) -> None:
+                obs = get_recorder()
+                with obs.span("child", index=idx):
+                    pass
+
+            threads = [
+                threading.Thread(
+                    target=contextvars.copy_context().run, args=(work, i)
+                )
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+    root = rec.roots[0]
+    assert len(rec.roots) == 1
+    assert sorted(c.attrs["index"] for c in root.children) == [0, 1, 2, 3]
+
+
+def test_bare_threads_without_context_record_new_roots():
+    """A thread with an empty context falls back to the null recorder."""
+    rec = SpanRecorder(clock=FakeClock())
+    seen = []
+
+    def work() -> None:
+        seen.append(get_recorder())
+
+    with using_recorder(rec):
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+    assert seen == [NULL_RECORDER]

@@ -69,3 +69,111 @@ def test_unknown_mapper_fails():
 def test_missing_command_errors():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_robustness_command(capsys):
+    rc = main(
+        [
+            "robustness",
+            "--app", "LU",
+            "--processes", "8",
+            "--sites", "2",
+            "--limit", "3",
+            "--seed", "0",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Robustness" in out
+    assert "3 cells" in out
+    assert "0 failed" in out
+
+
+def test_robustness_resume_requires_checkpoint(capsys):
+    rc = main(["robustness", "--resume", "--processes", "4", "--sites", "2"])
+    assert rc == 2
+    assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+def test_robustness_rejects_unknown_fault(capsys):
+    rc = main(
+        ["robustness", "--processes", "4", "--sites", "2",
+         "--faults", "nonsense"]
+    )
+    assert rc == 2
+    assert "unknown faults" in capsys.readouterr().err
+
+
+def test_robustness_checkpoint_resume_replays(tmp_path, capsys):
+    ckpt = str(tmp_path / "sweep.json")
+    args = [
+        "robustness",
+        "--app", "LU",
+        "--processes", "8",
+        "--sites", "2",
+        "--limit", "2",
+        "--checkpoint", ckpt,
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args + ["--resume"]) == 0
+    assert "2 from checkpoint" in capsys.readouterr().out
+
+
+def test_map_trace_round_trips(tmp_path, capsys):
+    """--trace writes a schema-valid JSON trace of the whole map run."""
+    from repro.obs import load_trace
+
+    trace = tmp_path / "trace.json"
+    rc = main(
+        [
+            "map",
+            "--app", "LU",
+            "--regions", "us-east-1", "eu-west-1",
+            "--nodes", "4",
+            "--mapper", "geo-distributed",
+            "--trace", str(trace),
+        ]
+    )
+    assert rc == 0
+    assert "trace written to" in capsys.readouterr().err
+    spans = load_trace(trace)  # validates against the span schema
+    names = [s.name for s in spans]
+    assert "mapper.map" in names
+    root = spans[names.index("mapper.map")]
+    assert [c.name for c in root.children] == [
+        "feasibility", "solve", "validate", "cost",
+    ]
+    orders = root.find("solve").find_all("geodist.order")
+    assert len(orders) == 2  # 2 sites -> 2! group orders
+    assert root.attrs["mapper"] == "geo-distributed"
+
+
+def test_compare_trace_and_report(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    rc = main(
+        [
+            "compare",
+            "--app", "LU",
+            "--regions", "us-east-1", "ap-southeast-1",
+            "--nodes", "4",
+            "--trace", str(trace),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    assert main(["trace-report", str(trace), "--max-depth", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "comparison.mapper" in out
+    assert "build_problem" in out
+
+
+def test_trace_report_rejects_bad_input(tmp_path, capsys):
+    missing = main(["trace-report", str(tmp_path / "nope.json")])
+    assert missing == 2
+    assert "error:" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"version": 99, "clock": "x", "spans": []}')
+    assert main(["trace-report", str(bad)]) == 2
+    assert "invalid trace" in capsys.readouterr().err
