@@ -24,8 +24,20 @@ from pathlib import Path
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Machine-readable perf-regression baseline written by the bench_perf_*
-#: suite.  Schema: a JSON list of {"bench", "n", "m", "seconds", "cost"}.
+#: suite.  Schema v2: a JSON list of {"schema", "bench", "n", "m",
+#: "seconds", "cost"} — keyed only by (bench, n, m) so records compare
+#: across machines (`repro bench-check` consumes this file; see
+#: repro.obs.benchgate).  Set $REPRO_BENCH_JSON to redirect writes, e.g.
+#: so a gating run never touches the checked-in baseline.
 BENCH_PERF_JSON = Path(__file__).parent.parent / "BENCH_perf.json"
+
+#: Keep in sync with repro.obs.benchgate.BENCH_SCHEMA_VERSION (a unit
+#: test cross-checks them; this file stays importable without repro).
+BENCH_SCHEMA_VERSION = 2
+
+#: Record fields that would tie a baseline to one machine; stripped on
+#: write so bench-check comparisons stay host-independent.
+_HOST_DEPENDENT_FIELDS = ("host", "hostname", "node", "machine", "platform")
 
 #: True when the operator asked for paper-scale runs.
 FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
@@ -49,18 +61,39 @@ def median_time(fn, *, warmup: int = 1, repeats: int = 5):
     return statistics.median(times), result
 
 
-def update_bench_json(records: list[dict], path: Path = BENCH_PERF_JSON) -> Path:
+def update_bench_json(records: list[dict], path: Path | None = None) -> Path:
     """Merge perf records into ``BENCH_perf.json``.
 
     Records carrying the same ``(bench, n, m)`` key replace their previous
     entries; everything else is preserved, so the core and geodist benches
-    can update the file independently.
+    can update the file independently.  Every written record is stamped
+    with ``schema`` (:data:`BENCH_SCHEMA_VERSION`) and stripped of
+    host-dependent fields, so baselines diff cleanly across machines.
+
+    The target defaults to :data:`BENCH_PERF_JSON` but honors the
+    ``REPRO_BENCH_JSON`` environment variable when ``path`` is not given
+    — that is how ``repro bench-check`` re-runs the benches without
+    clobbering the checked-in baseline it compares against.
 
     The rewrite is atomic (temp file in the same directory +
     :func:`os.replace`), so a benchmark run killed mid-write can never
     leave a truncated baseline behind; a pre-existing corrupt or
     non-list file is treated as empty rather than fatal.
     """
+    if path is None:
+        override = os.environ.get("REPRO_BENCH_JSON", "")
+        path = Path(override) if override else BENCH_PERF_JSON
+    records = [
+        {
+            "schema": BENCH_SCHEMA_VERSION,
+            **{
+                k: v
+                for k, v in r.items()
+                if k not in _HOST_DEPENDENT_FIELDS and k != "schema"
+            },
+        }
+        for r in records
+    ]
     existing: list[dict] = []
     try:
         loaded = json.loads(path.read_text())

@@ -12,8 +12,9 @@ instrumentation, tracked by ``bench_perf_geodist``'s baseline), and that
 the *enabled* path stays cheap enough to trace real experiments — the
 per-order spans are the only recording inside the solve loop.
 
-Timings land in ``BENCH_perf.json`` (schema ``{bench, n, m, seconds,
-cost}``).  Run directly::
+Timings land in ``BENCH_perf.json`` (schema v2: ``{schema, bench, n, m,
+seconds, cost}``, host-independent keys; redirect with
+``REPRO_BENCH_JSON``).  Run directly::
 
     PYTHONPATH=src python benchmarks/bench_obs.py [--quick]
 """

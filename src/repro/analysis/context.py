@@ -57,6 +57,11 @@ class FileContext:
     from_numpy_random: dict[str, str] = field(default_factory=dict)
     #: Local name -> original name, for ``from time import X [as Y]``.
     from_time: dict[str, str] = field(default_factory=dict)
+    #: Local names bound to the ``repro.obs`` module (absolute or relative).
+    obs_aliases: set[str] = field(default_factory=set)
+    #: Local name -> original name, for imports from ``repro.obs`` (or its
+    #: submodules), absolute *or* relative (``from ..obs import Span``).
+    from_obs: dict[str, str] = field(default_factory=dict)
     #: Enclosing class/function names; maintained by the engine's visitor.
     scope: list[str] = field(default_factory=list)
 
@@ -96,17 +101,43 @@ class FileContext:
                         self.time_aliases.add(local)
                     elif alias.name == "datetime":
                         self.datetime_aliases.add(local)
-            elif isinstance(node, ast.ImportFrom) and node.level == 0:
-                if node.module == "numpy":
-                    for alias in node.names:
-                        if alias.name == "random":
-                            self.numpy_random_aliases.add(alias.asname or "random")
-                elif node.module == "numpy.random":
-                    for alias in node.names:
-                        self.from_numpy_random[alias.asname or alias.name] = alias.name
-                elif node.module == "time":
-                    for alias in node.names:
-                        self.from_time[alias.asname or alias.name] = alias.name
+                    elif alias.name == "repro.obs" and alias.asname:
+                        self.obs_aliases.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    if node.module == "numpy":
+                        for alias in node.names:
+                            if alias.name == "random":
+                                self.numpy_random_aliases.add(alias.asname or "random")
+                    elif node.module == "numpy.random":
+                        for alias in node.names:
+                            self.from_numpy_random[alias.asname or alias.name] = alias.name
+                    elif node.module == "time":
+                        for alias in node.names:
+                            self.from_time[alias.asname or alias.name] = alias.name
+                self._collect_obs_import(node)
+
+    def _collect_obs_import(self, node: ast.ImportFrom) -> None:
+        """Track names bound from ``repro.obs``, absolute or relative.
+
+        Handles ``from repro.obs import Span``, ``from ..obs import Span
+        as S``, ``from repro.obs.spans import Span``, and module binds
+        like ``from repro import obs`` / ``from .. import obs``.
+        """
+        module = node.module or ""
+        parts = tuple(module.split(".")) if module else ()
+        relative = node.level > 0
+        if parts and not (relative or parts[0] == "repro"):
+            return
+        if parts and (parts[-1] == "obs" or (len(parts) >= 2 and "obs" in parts[:-1])):
+            # ``from ...obs[...] import X [as Y]``
+            for alias in node.names:
+                self.from_obs[alias.asname or alias.name] = alias.name
+        elif (not parts and relative) or parts == ("repro",):
+            # ``from repro import obs`` / ``from .. import obs [as o]``
+            for alias in node.names:
+                if alias.name == "obs":
+                    self.obs_aliases.add(alias.asname or "obs")
 
     def dotted_parts(self, node: ast.expr) -> tuple[str, ...] | None:
         """``a.b.c`` attribute chain as ``("a", "b", "c")``, else None."""

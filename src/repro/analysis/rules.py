@@ -1,4 +1,4 @@
-"""The domain-specific rule catalog (RPR001-RPR005).
+"""The domain-specific rule catalog (RPR001-RPR006).
 
 Each rule is a small stateless object: it declares the AST node types it
 wants to see, and the engine's single visitor pass calls
@@ -37,12 +37,21 @@ RPR005  no-wall-clock
     Benchmarks must time with ``time.perf_counter`` (monotonic, highest
     resolution); ``time.time``/``datetime.now`` are wall clocks subject
     to NTP slew and give garbage deltas in hot loops.
+
+RPR006  no-direct-span-construction
+    Library code outside ``repro.obs`` must never build ``Span`` /
+    ``SpanEvent`` objects directly: hand-built spans bypass the recorder
+    (no parent attachment, no clock, no NULL fast path) and silently
+    diverge from the trace schema.  Create spans via the recorder API —
+    ``get_recorder().span(...)`` / ``SpanRecorder`` — as the simmpi
+    profile bridge does.
 """
 
 from __future__ import annotations
 
 import ast
 from collections.abc import Iterable, Iterator
+from pathlib import Path
 from typing import ClassVar
 
 from .context import FileContext
@@ -55,6 +64,7 @@ __all__ = [
     "ValidatePublicEntryRule",
     "NoBareAssertRule",
     "NoWallClockRule",
+    "NoDirectSpanConstructionRule",
     "ALL_RULES",
     "default_rules",
 ]
@@ -435,12 +445,68 @@ class NoWallClockRule(Rule):
             )
 
 
+# --------------------------------------------------------------------- RPR006
+
+#: Span dataclasses that must only be built by the repro.obs recorder.
+_SPAN_TYPES = frozenset({"Span", "SpanEvent"})
+
+
+class NoDirectSpanConstructionRule(Rule):
+    """RPR006: spans outside repro.obs must come from the recorder API."""
+
+    id = "RPR006"
+    name = "no-direct-span-construction"
+    rationale = (
+        "hand-built Span/SpanEvent objects bypass the recorder (no parent "
+        "attachment, no clock, no NULL fast path); use get_recorder().span() "
+        "/ SpanRecorder instead"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # repro.obs itself (spans.py, recorder.py, ...) is the one place
+        # allowed to construct these types.
+        parts = Path(ctx.relpath).parts
+        return ctx.in_src and "obs" not in parts
+
+    def _constructed_type(self, call: ast.Call, ctx: FileContext) -> str | None:
+        """The obs span type name if this call builds one, else None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            original = ctx.from_obs.get(func.id)
+            return original if original in _SPAN_TYPES else None
+        parts = ctx.dotted_parts(func)
+        if parts is None or len(parts) < 2 or parts[-1] not in _SPAN_TYPES:
+            return None
+        head, trail = parts[0], parts[:-1]
+        if head in ctx.obs_aliases or "obs" in trail:
+            return parts[-1]
+        # ``from repro.obs import spans; spans.Span(...)``
+        if ctx.from_obs.get(head) == "spans":
+            return parts[-1]
+        return None
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        call = node
+        assert isinstance(call, ast.Call)  # repro-lint: disable=RPR004
+        constructed = self._constructed_type(call, ctx)
+        if constructed is not None:
+            yield self.finding(
+                call,
+                ctx,
+                f"direct construction of repro.obs {constructed}; spans must "
+                "be created via the recorder API (get_recorder().span() / "
+                "SpanRecorder)",
+            )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     NoLegacyRngRule,
     NoFrozenViewRule,
     ValidatePublicEntryRule,
     NoBareAssertRule,
     NoWallClockRule,
+    NoDirectSpanConstructionRule,
 )
 
 

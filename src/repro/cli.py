@@ -20,6 +20,19 @@ Commands
     checkpoint/resume.
 ``trace-report``
     Render a JSON trace captured with ``--trace`` as a span tree.
+``metrics``
+    Aggregate a trace into metrics (per-stage wall time, per-link
+    bytes/stalls, memo hit ratios) and print them in Prometheus text
+    format or JSON.
+``trace-diff``
+    Compare two traces per span name (count, total/self time, stable
+    attrs) and optionally fail on relative time regressions.
+``trace-export``
+    Convert a trace to the Chrome trace-event format, loadable in
+    ``chrome://tracing`` or Perfetto.
+``bench-check``
+    Re-run the quick benches and grade them against the checked-in
+    ``BENCH_perf.json`` baseline (warn past +25%, fail past 2x).
 
 ``map``, ``compare``, and ``robustness`` accept ``--trace out.json``:
 the whole command runs under a span recorder and the trace forest is
@@ -37,6 +50,10 @@ Examples
         --checkpoint sweep.json --resume
     python -m repro map --app LU --trace trace.json
     python -m repro trace-report trace.json --max-depth 3
+    python -m repro metrics trace.json --format prom
+    python -m repro trace-diff before.json after.json --fail-on-regression 25
+    python -m repro trace-export trace.json --chrome -o trace.chrome.json
+    python -m repro bench-check --quick
 """
 
 from __future__ import annotations
@@ -192,6 +209,91 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=40,
         help="elide the middle of fan-outs wider than this (default: 40)",
+    )
+
+    p_metrics = sub.add_parser(
+        "metrics", help="aggregate a --trace JSON file into metrics"
+    )
+    p_metrics.add_argument("trace_file", help="trace JSON written by --trace")
+    p_metrics.add_argument(
+        "--format",
+        dest="fmt",
+        default="prom",
+        choices=["prom", "json"],
+        help="output format (default: Prometheus text exposition)",
+    )
+
+    p_diff = sub.add_parser(
+        "trace-diff", help="compare two traces per span name"
+    )
+    p_diff.add_argument("trace_a", help="baseline trace JSON")
+    p_diff.add_argument("trace_b", help="candidate trace JSON")
+    p_diff.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if any span name's total time grew by more than PCT%%",
+    )
+    p_diff.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.0,
+        help="ignore regressions smaller than this absolute growth (default: 0)",
+    )
+
+    p_export = sub.add_parser(
+        "trace-export", help="convert a trace to another format"
+    )
+    p_export.add_argument("trace_file", help="trace JSON written by --trace")
+    p_export.add_argument(
+        "--chrome",
+        action="store_true",
+        help="emit the Chrome trace-event format (chrome://tracing, Perfetto)",
+    )
+    p_export.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="output path (default: <trace_file stem>.chrome.json)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench-check",
+        help="re-run the quick benches and grade against BENCH_perf.json",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the benches' --quick sizes (currently the only mode; "
+        "spelled out so CI invocations read unambiguously)",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline records file (default: the repo's BENCH_perf.json)",
+    )
+    p_bench.add_argument(
+        "--current",
+        default=None,
+        help="grade this records file instead of re-running the benches",
+    )
+    p_bench.add_argument(
+        "--benchmarks-dir",
+        default=None,
+        help="directory holding the bench scripts (default: auto-detected)",
+    )
+    p_bench.add_argument(
+        "--warn-pct",
+        type=float,
+        default=25.0,
+        help="warn (non-blocking) past this relative slowdown (default: 25)",
+    )
+    p_bench.add_argument(
+        "--fail-factor",
+        type=float,
+        default=2.0,
+        help="hard-fail past this current/baseline ratio (default: 2.0)",
     )
     return parser
 
@@ -356,6 +458,166 @@ def _cmd_trace_report(args) -> int:
     return 0
 
 
+def _load_trace_or_none(path: str):
+    """Load a trace, printing the error and returning None on failure."""
+    from .obs import TraceSchemaError, load_trace
+
+    try:
+        return load_trace(path)
+    except (OSError, ValueError) as exc:
+        kind = "invalid trace" if isinstance(exc, TraceSchemaError) else "error"
+        print(f"{kind}: {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_metrics(args) -> int:
+    from .obs import aggregate_trace
+
+    spans = _load_trace_or_none(args.trace_file)
+    if spans is None:
+        return 2
+    snapshot = aggregate_trace(spans)
+    if args.fmt == "json":
+        print(snapshot.to_json())
+    else:
+        print(snapshot.render_prom(), end="")
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from .obs import diff_traces
+
+    a = _load_trace_or_none(args.trace_a)
+    b = _load_trace_or_none(args.trace_b)
+    if a is None or b is None:
+        return 2
+    diff = diff_traces(a, b)
+    rows = [
+        [
+            d.name,
+            d.count_a,
+            d.count_b,
+            f"{d.total_a:.6f}",
+            f"{d.total_b:.6f}",
+            f"{d.total_delta:+.6f}",
+        ]
+        for d in sorted(diff.deltas.values(), key=lambda d: d.name)
+    ]
+    print(
+        format_table(
+            ["span", "count A", "count B", "total A (s)", "total B (s)", "delta (s)"],
+            rows,
+            title=f"{args.trace_a} vs {args.trace_b}",
+        )
+    )
+    for name in diff.only_in_a:
+        print(f"only in A: {name}")
+    for name in diff.only_in_b:
+        print(f"only in B: {name}")
+    for d in diff.deltas.values():
+        for attr, (va, vb) in d.attr_changes.items():
+            print(f"attr changed on {d.name}: {attr}: {va!r} -> {vb!r}")
+    print(
+        "structure: identical"
+        if diff.same_structure
+        else "structure: differs (span names/nesting/order)"
+    )
+    if args.fail_on_regression is not None:
+        worse = diff.regressions(
+            rel_threshold=args.fail_on_regression / 100.0,
+            min_seconds=args.min_seconds,
+        )
+        if worse:
+            for d in worse:
+                pct = (
+                    f"{(d.total_b / d.total_a - 1) * 100:+.1f}%"
+                    if d.total_a > 0
+                    else "new"
+                )
+                print(
+                    f"REGRESSION {d.name}: {d.total_a:.6f}s -> "
+                    f"{d.total_b:.6f}s ({pct})",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"no regressions past {args.fail_on_regression:g}%")
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    from pathlib import Path
+
+    from .obs import write_chrome_trace
+
+    if not args.chrome:
+        print(
+            "error: pick an output format (currently: --chrome)", file=sys.stderr
+        )
+        return 2
+    spans = _load_trace_or_none(args.trace_file)
+    if spans is None:
+        return 2
+    stem = Path(args.trace_file)
+    out = Path(args.out) if args.out else stem.with_suffix(".chrome.json")
+    write_chrome_trace(out, spans)
+    n_events = sum(1 + len(s.events) for root in spans for s in root.iter())
+    print(f"chrome trace written to {out} ({n_events} events)")
+    return 0
+
+
+def _cmd_bench_check(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .obs.benchgate import (
+        compare_bench_records,
+        find_benchmarks_dir,
+        load_bench_records,
+        run_quick_benches,
+    )
+
+    try:
+        bench_dir = (
+            Path(args.benchmarks_dir)
+            if args.benchmarks_dir
+            else find_benchmarks_dir()
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    baseline_path = (
+        Path(args.baseline) if args.baseline else bench_dir.parent / "BENCH_perf.json"
+    )
+    try:
+        baseline = load_bench_records(baseline_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.current:
+            current = load_bench_records(args.current)
+        else:
+            with tempfile.TemporaryDirectory(prefix="bench-check-") as tmp:
+                current = run_quick_benches(
+                    bench_dir, Path(tmp) / "bench_current.json"
+                )
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = compare_bench_records(
+        baseline,
+        current,
+        warn_ratio=1.0 + args.warn_pct / 100.0,
+        fail_ratio=args.fail_factor,
+    )
+    print(report.render())
+    for d in report.warnings:
+        print(f"WARN {d.bench} (n={d.n}): {d.ratio:.2f}x baseline", file=sys.stderr)
+    for d in report.failures:
+        print(f"FAIL {d.bench} (n={d.n}): {d.ratio:.2f}x baseline", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "regions": _cmd_regions,
     "calibrate": _cmd_calibrate,
@@ -363,6 +625,10 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "robustness": _cmd_robustness,
     "trace-report": _cmd_trace_report,
+    "metrics": _cmd_metrics,
+    "trace-diff": _cmd_trace_diff,
+    "trace-export": _cmd_trace_export,
+    "bench-check": _cmd_bench_check,
 }
 
 

@@ -173,11 +173,12 @@ class Mapper(abc.ABC):
     ) -> Mapping:
         """Solve ``problem`` and return a validated, costed :class:`Mapping`."""
         from .._validation import as_rng
-        from ..obs import get_recorder
+        from ..obs import get_metrics, get_recorder
         from .constraints import ensure_feasible
         from .cost import total_cost
 
         obs = get_recorder()
+        metrics = get_metrics()
         with obs.span(
             "mapper.map",
             mapper=self.name,
@@ -200,6 +201,15 @@ class Mapper(abc.ABC):
             with obs.span("cost"):
                 cost = total_cost(problem, P)
             root.set(cost=cost, elapsed_s=elapsed)
+            if metrics.enabled:
+                metrics.inc(
+                    "mapper_runs_total",
+                    mapper=self.name,
+                    n=problem.num_processes,
+                    m=problem.num_sites,
+                )
+                metrics.observe("mapper_map_seconds", elapsed, mapper=self.name)
+                metrics.set_gauge("mapper_last_cost", cost, mapper=self.name)
             return Mapping(
                 assignment=P,
                 cost=cost,

@@ -334,9 +334,10 @@ class ResilientRunner:
     def _run_one(
         self, key: str, thunk: Callable[[], dict[str, Any]]
     ) -> ScenarioOutcome:
-        from ..obs import get_recorder
+        from ..obs import get_metrics, get_recorder
 
         obs = get_recorder()
+        metrics = get_metrics()
         max_attempts = 1 + self.max_retries
         status: str = "failed"
         result: dict[str, Any] | None = None
@@ -369,8 +370,12 @@ class ResilientRunner:
                 if attempt + 1 < max_attempts:
                     backoff = self.backoff_base_s * self.backoff_factor**attempt
                     obs.event("runner.retry", attempt=attempt, backoff_s=backoff)
+                    metrics.inc("runner_retries_total")
                     self._sleep(backoff)
             span.set(status=status, attempts=attempts, elapsed_s=elapsed)
+            if metrics.enabled:
+                metrics.inc("runner_scenarios_total", status=status)
+                metrics.observe("runner_scenario_seconds", elapsed, status=status)
         return ScenarioOutcome(
             key=key,
             status=status,
@@ -400,9 +405,10 @@ class ResilientRunner:
         """
         if resume and self.checkpoint is None:
             raise ValueError("resume=True requires a checkpoint store")
-        from ..obs import get_recorder
+        from ..obs import get_metrics, get_recorder
 
         obs = get_recorder()
+        metrics = get_metrics()
         items = (
             list(scenarios.items())
             if isinstance(scenarios, TypingMapping)
@@ -425,6 +431,7 @@ class ResilientRunner:
                         key=key,
                         status=str(row.get("status", "ok")),
                     )
+                    metrics.inc("runner_replays_total")
                     outcomes[key] = ScenarioOutcome(
                         key=key,
                         status=str(row.get("status", "ok")),

@@ -20,6 +20,26 @@ Typical use::
     print(render_trace(rec.roots))
 """
 
+from .analytics import (
+    CriticalPathStep,
+    LinkUse,
+    SpanDelta,
+    TraceDiff,
+    aggregate_trace,
+    critical_path,
+    diff_traces,
+    structure_signature,
+    trace_to_chrome,
+    write_chrome_trace,
+)
+from .benchgate import (
+    BENCH_JSON_ENV,
+    BENCH_SCHEMA_VERSION,
+    BenchCheckReport,
+    BenchDelta,
+    compare_bench_records,
+    load_bench_records,
+)
 from .export import (
     TRACE_VERSION,
     TraceSchemaError,
@@ -42,6 +62,23 @@ from .recorder import (
     recording,
     set_recorder,
     using_recorder,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    Labels,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetrics,
+    collecting_metrics,
+    get_metrics,
+    labelset,
+    set_metrics,
+    using_metrics,
 )
 from .spans import JSONValue, Span, SpanEvent
 
@@ -68,4 +105,38 @@ __all__ = [
     "write_trace",
     "load_trace",
     "render_trace",
+    # metrics
+    "Labels",
+    "labelset",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "DEFAULT_BUCKETS",
+    "MetricsSnapshot",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "using_metrics",
+    "collecting_metrics",
+    # analytics
+    "aggregate_trace",
+    "CriticalPathStep",
+    "LinkUse",
+    "critical_path",
+    "SpanDelta",
+    "TraceDiff",
+    "diff_traces",
+    "structure_signature",
+    "trace_to_chrome",
+    "write_chrome_trace",
+    # bench gate
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_JSON_ENV",
+    "BenchDelta",
+    "BenchCheckReport",
+    "compare_bench_records",
+    "load_bench_records",
 ]

@@ -10,16 +10,32 @@ loop-folding trace compression on the same data.
 Matrices are returned dense for small N and as CSR for large N, because
 the structured applications (NPB, ring allreduce) have O(N) nonzeros and
 the mapping algorithms handle sparse input natively.
+
+Since the repro.obs span schema became the repo's one trace format, a
+profile can be exported onto it: :meth:`TraceRecorder.to_span` bridges
+the aggregated message stream into a ``profile.messages`` span (one
+``profile.pair`` event per communicating rank pair), and
+:meth:`TraceRecorder.write_trace` writes a schema-valid trace file that
+``repro trace-report`` / ``repro metrics`` consume directly.  The raw
+``events`` attribute of the legacy format is deprecated in favor of
+:meth:`event_streams` / :meth:`rank_events`.
 """
 
 from __future__ import annotations
 
+import contextvars
+import warnings
 from collections import defaultdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 import scipy.sparse as sp
 
 from .._validation import check_positive_int
+
+if TYPE_CHECKING:
+    from ..obs import Span
 
 __all__ = ["TraceRecorder", "DENSE_LIMIT"]
 
@@ -46,7 +62,7 @@ class TraceRecorder:
         self.keep_events = bool(keep_events)
         self._volume: dict[tuple[int, int], float] = defaultdict(float)
         self._count: dict[tuple[int, int], int] = defaultdict(int)
-        self.events: list[list[tuple[int, int, int]]] = [
+        self._events: list[list[tuple[int, int, int]]] = [
             [] for _ in range(num_ranks)
         ]
         self.total_messages = 0
@@ -60,7 +76,93 @@ class TraceRecorder:
         self.total_messages += 1
         self.total_bytes += nbytes
         if self.keep_events:
-            self.events[src].append((dst, nbytes, tag))
+            self._events[src].append((dst, nbytes, tag))
+
+    # --------------------------------------------------------- event access
+
+    @property
+    def events(self) -> list[list[tuple[int, int, int]]]:
+        """Deprecated alias for :meth:`event_streams`.
+
+        The bare attribute was the legacy trace output; the span schema
+        (see :meth:`to_span`) is the one trace format now, and code that
+        still needs the raw per-rank streams should call
+        :meth:`event_streams` / :meth:`rank_events`.
+        """
+        warnings.warn(
+            "TraceRecorder.events is deprecated; use event_streams() or "
+            "rank_events(rank) instead (the span schema via to_span() is "
+            "the supported trace format)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._events
+
+    def event_streams(self) -> list[list[tuple[int, int, int]]]:
+        """Per-source-rank message streams (``(dst, nbytes, tag)`` tuples).
+
+        Empty lists unless the recorder was built with
+        ``keep_events=True``.
+        """
+        return self._events
+
+    def rank_events(self, rank: int) -> list[tuple[int, int, int]]:
+        """One rank's outgoing message stream."""
+        return self._events[rank]
+
+    # --------------------------------------------------------- span bridge
+
+    def _build_span(self) -> "Span":
+        from ..obs import SpanRecorder
+
+        rec = SpanRecorder(clock=lambda: 0.0)
+        with rec.span(
+            "profile.messages",
+            num_ranks=self.num_ranks,
+            kept_events=self.keep_events,
+        ) as span:
+            span.add("messages", self.total_messages)
+            span.add("bytes", self.total_bytes)
+            span.add("pairs", self.nonzero_pairs())
+            for src, dst in sorted(self._count):
+                rec.event(
+                    "profile.pair",
+                    src_rank=src,
+                    dst_rank=dst,
+                    messages=self._count[(src, dst)],
+                    bytes=self._volume[(src, dst)],
+                )
+        return rec.roots[0]
+
+    def to_span(self) -> "Span":
+        """The aggregated profile as one repro.obs span.
+
+        The span is named ``profile.messages`` with ``messages`` /
+        ``bytes`` / ``pairs`` counters and one ``profile.pair`` event
+        per communicating ``(src, dst)`` rank pair.  The profiler has no
+        meaningful clock, so all timestamps are zero.
+
+        Built in an isolated :mod:`contextvars` context so an ambient
+        trace in progress (e.g. under ``--trace``) never adopts the
+        bridge span into its own tree.
+        """
+        return contextvars.Context().run(self._build_span)
+
+    def to_trace_dict(self) -> dict[str, Any]:
+        """The profile as a schema-valid trace document (version 1)."""
+        from ..obs import trace_to_dict
+
+        return trace_to_dict([self.to_span()])
+
+    def write_trace(self, path: "str | Path") -> Path:
+        """Write the profile as a trace JSON file.
+
+        The output loads back through :func:`repro.obs.load_trace` and
+        feeds ``repro trace-report`` / ``repro metrics`` directly.
+        """
+        from ..obs import write_trace
+
+        return write_trace(path, [self.to_span()])
 
     # ------------------------------------------------------------- matrices
 

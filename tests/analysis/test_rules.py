@@ -5,6 +5,7 @@ import textwrap
 from repro.analysis import lint_source
 from repro.analysis.rules import (
     NoBareAssertRule,
+    NoDirectSpanConstructionRule,
     NoFrozenViewRule,
     NoLegacyRngRule,
     NoWallClockRule,
@@ -271,6 +272,84 @@ def test_rpr005_allows_perf_counter_and_src_files():
     assert lint(wall, relpath=SRC, rules=[NoWallClockRule()]).findings == []
 
 
+# ----------------------------------------------------------------- RPR006
+
+
+def test_rpr006_flags_direct_span_from_import():
+    result = lint(
+        """
+        from repro.obs import Span, SpanEvent
+
+        def fake_trace():
+            ev = SpanEvent(name="e", t=0.0)
+            return Span(name="s", t_start=0.0, events=[ev])
+        """,
+        rules=[NoDirectSpanConstructionRule()],
+    )
+    assert rule_ids(result) == ["RPR006", "RPR006"]
+    assert "SpanEvent" in result.findings[0].message
+    assert "recorder API" in result.findings[1].message
+
+
+def test_rpr006_flags_relative_import_and_alias():
+    result = lint(
+        """
+        from ..obs import Span as S
+
+        def fake():
+            return S(name="s", t_start=0.0)
+        """,
+        rules=[NoDirectSpanConstructionRule()],
+    )
+    assert rule_ids(result) == ["RPR006"]
+
+
+def test_rpr006_flags_module_qualified_construction():
+    flagged = [
+        "import repro.obs as obs\n\ndef f():\n    return obs.Span(name='s', t_start=0.0)\n",
+        "from repro import obs\n\ndef f():\n    return obs.SpanEvent(name='e', t=0.0)\n",
+        "import repro.obs\n\ndef f():\n    return repro.obs.Span(name='s', t_start=0.0)\n",
+        "from repro.obs import spans\n\ndef f():\n    return spans.Span(name='s', t_start=0.0)\n",
+    ]
+    for source in flagged:
+        result = lint(source, rules=[NoDirectSpanConstructionRule()])
+        assert rule_ids(result) == ["RPR006"], source
+
+
+def test_rpr006_allows_recorder_api_and_obs_itself():
+    recorder_idiom = """
+        from repro.obs import SpanRecorder, get_recorder
+
+        def traced():
+            rec = SpanRecorder(clock=lambda: 0.0)
+            with rec.span("profile.messages"):
+                get_recorder().event("profile.pair")
+            return rec.roots[0]
+        """
+    assert lint(recorder_idiom, rules=[NoDirectSpanConstructionRule()]).findings == []
+    # Inside repro/obs the dataclasses may be constructed freely.
+    direct = "from repro.obs import Span\n\ndef f():\n    return Span(name='s', t_start=0.0)\n"
+    obs_path = "src/repro/obs/spans.py"
+    assert lint(direct, relpath=obs_path, rules=[NoDirectSpanConstructionRule()]).findings == []
+    # And code outside src/ (tests, benchmarks) is out of scope.
+    assert lint(direct, relpath=BENCH, rules=[NoDirectSpanConstructionRule()]).findings == []
+
+
+def test_rpr006_ignores_unrelated_span_names():
+    # A local class that happens to be called Span is not the obs type.
+    result = lint(
+        """
+        class Span:
+            pass
+
+        def f():
+            return Span()
+        """,
+        rules=[NoDirectSpanConstructionRule()],
+    )
+    assert result.findings == []
+
+
 # ------------------------------------------------------------- suppression
 
 
@@ -326,6 +405,7 @@ def test_default_rules_select_and_unknown():
         "RPR003",
         "RPR004",
         "RPR005",
+        "RPR006",
     }
     assert [r.id for r in default_rules(["rpr004"])] == ["RPR004"]
     try:

@@ -32,7 +32,7 @@ def test_profile_dense_limit_override():
 def test_profile_keep_events():
     app = RingApp(4, iterations=2)
     _, _, rec = app.profile(keep_events=True)
-    assert len(rec.events[0]) == 4  # 2 sends x 2 iterations
+    assert len(rec.event_streams()[0]) == 4  # 2 sends x 2 iterations
 
 
 def test_make_paper_app_factory():

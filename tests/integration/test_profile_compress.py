@@ -39,7 +39,7 @@ def rebuild_matrices(events_per_rank, n):
 def test_compressed_trace_rebuilds_matrices(app_factory):
     app = app_factory()
     cg, ag, rec = app.profile(keep_events=True)
-    cg2, ag2, ratios = rebuild_matrices(rec.events, app.num_ranks)
+    cg2, ag2, ratios = rebuild_matrices(rec.event_streams(), app.num_ranks)
     np.testing.assert_allclose(cg2, np.asarray(cg))
     np.testing.assert_allclose(ag2, np.asarray(ag))
 
@@ -48,7 +48,7 @@ def test_iterative_apps_compress_strongly():
     """Loop-heavy traces (LU's 20 identical iterations) must fold well."""
     app = LUApp(16, iterations=20, residual_every=10**6)
     _, _, rec = app.profile(keep_events=True)
-    _, _, ratios = rebuild_matrices(rec.events, app.num_ranks)
+    _, _, ratios = rebuild_matrices(rec.event_streams(), app.num_ranks)
     # Every rank's trace is one loop body repeated 20 times.
     assert min(ratios) > 5.0
     assert np.mean(ratios) > 8.0
@@ -59,7 +59,7 @@ def test_compression_scales_with_iteration_count():
     long = LUApp(16, iterations=40, residual_every=10**6)
     _, _, rec_s = short.profile(keep_events=True)
     _, _, rec_l = long.profile(keep_events=True)
-    r_short = compression_ratio(compress(rec_s.events[5]))
-    r_long = compression_ratio(compress(rec_l.events[5]))
+    r_short = compression_ratio(compress(rec_s.rank_events(5)))
+    r_long = compression_ratio(compress(rec_l.rank_events(5)))
     # More iterations -> strictly better fold of the same loop body.
     assert r_long > r_short

@@ -1,0 +1,266 @@
+"""Unit tests for the typed metrics layer (repro.obs.metrics)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    collecting_metrics,
+    get_metrics,
+    labelset,
+    using_metrics,
+)
+
+# ----------------------------------------------------------------- families
+
+
+def test_counter_accumulates_per_labelset():
+    c = Counter("requests_total")
+    c.inc()
+    c.inc(2.5, mapper="geo")
+    c.inc(mapper="geo")
+    assert c.value() == 1.0
+    assert c.value(mapper="geo") == 3.5
+    assert c.total() == 4.5
+
+
+def test_counter_rejects_negative_and_bad_names():
+    c = Counter("requests_total")
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+    with pytest.raises(ValueError):
+        Counter("bad name")
+    with pytest.raises(ValueError):
+        c.inc(1.0, **{"0bad": "x"})
+
+
+def test_labelset_sorts_and_stringifies():
+    assert labelset({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+    # Stringified values mean int and str label values hit the same series.
+    c = Counter("c_total")
+    c.inc(src_site=3)
+    c.inc(src_site="3")
+    assert c.value(src_site="3") == 2.0
+
+
+def test_gauge_last_write_wins_and_inc_dec():
+    g = Gauge("queue_depth")
+    g.set(5.0)
+    g.set(2.0)
+    g.inc(3.0)
+    g.dec()
+    assert g.value() == 4.0
+    g.inc(-10.0)  # gauges may go negative
+    assert g.value() == -6.0
+
+
+def test_histogram_bucket_boundaries_are_le_inclusive():
+    h = Histogram("latency_seconds", buckets=[0.1, 1.0, 10.0])
+    # Exactly on a bound lands IN that bucket (Prometheus `le` semantics).
+    for v in (0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 99.0):
+        h.observe(v)
+    hv = h.value()
+    assert hv.counts == (2, 2, 2, 1)  # (..0.1], (0.1..1], (1..10], (10..)
+    assert hv.cumulative() == (2, 4, 6, 7)  # ends at total count
+    assert hv.count == 7
+    assert hv.sum == pytest.approx(115.65)
+
+
+def test_histogram_default_buckets_and_validation():
+    h = Histogram("h_seconds")
+    assert h.bounds == DEFAULT_BUCKETS
+    with pytest.raises(ValueError):
+        Histogram("h2", buckets=[])
+    with pytest.raises(ValueError):
+        Histogram("h3", buckets=[1.0, 1.0])
+    with pytest.raises(ValueError):
+        Histogram("h4", buckets=[1.0, float("inf")])
+
+
+def test_histogram_value_merge_requires_matching_bounds():
+    a = Histogram("h", buckets=[1.0, 2.0])
+    b = Histogram("h", buckets=[1.0, 2.0])
+    a.observe(0.5)
+    b.observe(1.5)
+    b.observe(9.0)
+    merged = a.value().merge(b.value())
+    assert merged.counts == (1, 1, 1)
+    assert merged.count == 3
+    other = Histogram("h", buckets=[5.0]).value()
+    with pytest.raises(ValueError):
+        a.value().merge(other)
+
+
+# ----------------------------------------------------------------- registry
+
+
+def test_registry_families_are_idempotent_and_kind_checked():
+    reg = MetricsRegistry()
+    assert reg.counter("c_total") is reg.counter("c_total")
+    with pytest.raises(TypeError):
+        reg.gauge("c_total")
+    with pytest.raises(TypeError):
+        reg.histogram("c_total")
+
+
+def test_registry_convenience_surface_and_snapshot():
+    reg = MetricsRegistry()
+    assert reg.enabled
+    reg.inc("runs_total", mapper="geo")
+    reg.inc("runs_total", 2.0, mapper="greedy")
+    reg.set_gauge("last_cost", 12.5)
+    reg.observe("map_seconds", 0.3)
+    snap = reg.snapshot()
+    assert snap.counter_value("runs_total", mapper="geo") == 1.0
+    assert snap.counter_total("runs_total") == 3.0
+    assert snap.gauge_value("last_cost") == 12.5
+    assert snap.histogram_value("map_seconds").count == 1
+    assert snap.histogram_value("map_seconds", absent="x") is None
+    assert not snap.empty
+    # Snapshots are frozen: later bumps don't bleed back.
+    reg.inc("runs_total", mapper="geo")
+    assert snap.counter_value("runs_total", mapper="geo") == 1.0
+
+
+def test_registry_reset_keeps_families():
+    reg = MetricsRegistry()
+    reg.inc("c_total")
+    reg.set_gauge("g", 1.0)
+    reg.observe("h", 0.5)
+    reg.reset()
+    snap = reg.snapshot()
+    assert snap.counter_total("c_total") == 0.0
+    assert snap.gauge_value("g") == 0.0
+    assert snap.histogram_value("h") is None
+    # The counter family still exists (no kind clash on re-request).
+    reg.inc("c_total", 5.0)
+    assert reg.snapshot().counter_total("c_total") == 5.0
+
+
+def test_registry_merge_snapshot_and_registry():
+    a = MetricsRegistry()
+    a.inc("c_total", 1.0, k="x")
+    a.set_gauge("g", 1.0)
+    a.observe("h", 0.5)
+    b = MetricsRegistry()
+    b.inc("c_total", 2.0, k="x")
+    b.set_gauge("g", 9.0)
+    b.observe("h", 0.5)
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap.counter_value("c_total", k="x") == 3.0
+    assert snap.gauge_value("g") == 9.0  # gauges: incoming wins
+    assert snap.histogram_value("h").count == 2
+    a.merge(b.snapshot())  # snapshot path is equivalent
+    assert a.snapshot().counter_value("c_total", k="x") == 5.0
+
+
+def test_snapshot_merge_is_pure():
+    a = MetricsRegistry()
+    a.inc("c_total", 1.0)
+    b = MetricsRegistry()
+    b.inc("c_total", 2.0)
+    sa, sb = a.snapshot(), b.snapshot()
+    merged = sa.merge(sb)
+    assert merged.counter_total("c_total") == 3.0
+    assert sa.counter_total("c_total") == 1.0  # inputs untouched
+
+
+def test_registry_is_thread_safe():
+    reg = MetricsRegistry()
+
+    def work():
+        for _ in range(1000):
+            reg.inc("c_total")
+            reg.observe("h_seconds", 0.001)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = reg.snapshot()
+    assert snap.counter_total("c_total") == 4000.0
+    assert snap.histogram_value("h_seconds").count == 4000
+
+
+# ------------------------------------------------------------ serialization
+
+
+def test_snapshot_json_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("c_total", "help text").inc(2.0, k="v")
+    reg.set_gauge("g", -1.5)
+    reg.observe("h", 0.25)
+    snap = reg.snapshot()
+    doc = json.loads(snap.to_json())
+    assert doc["version"] == 1
+    back = MetricsSnapshot.from_dict(doc)
+    assert back.counter_value("c_total", k="v") == 2.0
+    assert back.gauge_value("g") == -1.5
+    assert back.histogram_value("h") == snap.histogram_value("h")
+    assert back.help["c_total"] == "help text"
+    with pytest.raises(ValueError):
+        MetricsSnapshot.from_dict({"version": 99})
+
+
+def test_render_prom_format():
+    reg = MetricsRegistry()
+    reg.counter("runs_total", "Total runs").inc(3, mapper="geo")
+    reg.set_gauge("cost", 1.5)
+    reg.histogram("lat_seconds", buckets=[0.1, 1.0]).observe(0.05)
+    text = reg.render_prom()
+    assert "# HELP runs_total Total runs" in text
+    assert "# TYPE runs_total counter" in text
+    assert 'runs_total{mapper="geo"} 3' in text
+    assert "# TYPE cost gauge" in text
+    assert "cost 1.5" in text
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_sum 0.05" in text
+    assert "lat_seconds_count 1" in text
+    assert MetricsSnapshot().render_prom() == ""
+
+
+def test_render_prom_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.inc("c_total", 1.0, site='us"east\\1')
+    text = reg.render_prom()
+    assert 'site="us\\"east\\\\1"' in text
+
+
+# ----------------------------------------------------------------- ambient
+
+
+def test_ambient_default_is_null_and_free():
+    metrics = get_metrics()
+    assert metrics is NULL_METRICS
+    assert not metrics.enabled
+    # The null sink swallows everything without state.
+    metrics.inc("c_total")
+    metrics.set_gauge("g", 1.0)
+    metrics.observe("h", 0.5)
+    assert metrics.snapshot().empty
+
+
+def test_using_metrics_scopes_and_restores():
+    reg = MetricsRegistry()
+    with using_metrics(reg) as installed:
+        assert installed is reg
+        assert get_metrics() is reg
+    assert get_metrics() is NULL_METRICS
+
+
+def test_collecting_metrics_captures_instrumented_code():
+    with collecting_metrics() as metrics:
+        get_metrics().inc("seen_total")
+    assert metrics.snapshot().counter_total("seen_total") == 1.0
+    assert get_metrics() is NULL_METRICS

@@ -177,3 +177,144 @@ def test_trace_report_rejects_bad_input(tmp_path, capsys):
     bad.write_text('{"version": 99, "clock": "x", "spans": []}')
     assert main(["trace-report", str(bad)]) == 2
     assert "invalid trace" in capsys.readouterr().err
+
+
+# ----------------------------------------------------- metrics & analytics
+
+
+def _write_fixture_trace(path, *, solve_s=1.0, extra_attrs=None):
+    """A deterministic two-level trace written through the obs schema."""
+    from repro.obs import Span, write_trace
+
+    attrs = {"mapper": "geo-distributed", **(extra_attrs or {})}
+    root = Span(
+        "mapper.map",
+        t_start=0.0,
+        t_end=solve_s + 0.5,
+        attrs=attrs,
+        children=[Span("solve", t_start=0.0, t_end=solve_s)],
+    )
+    write_trace(path, [root])
+    return path
+
+
+def test_metrics_command_prom_and_json(tmp_path, capsys):
+    import json
+
+    trace = _write_fixture_trace(tmp_path / "t.json")
+    assert main(["metrics", str(trace)]) == 0
+    prom = capsys.readouterr().out
+    assert "# TYPE trace_spans_total counter" in prom
+    assert 'span_self_seconds_total{span="solve"} 1' in prom
+    assert main(["metrics", str(trace), "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 1
+    assert "span_seconds_total" in doc["counters"]
+
+
+def test_metrics_command_rejects_bad_trace(tmp_path, capsys):
+    assert main(["metrics", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_trace_diff_identical(tmp_path, capsys):
+    a = _write_fixture_trace(tmp_path / "a.json")
+    b = _write_fixture_trace(tmp_path / "b.json")
+    assert main(["trace-diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "structure: identical" in out
+    assert "mapper.map" in out and "solve" in out
+
+
+def test_trace_diff_fail_on_regression(tmp_path, capsys):
+    a = _write_fixture_trace(tmp_path / "a.json", solve_s=1.0)
+    b = _write_fixture_trace(tmp_path / "b.json", solve_s=2.0)
+    # Without the gate the diff reports but exits 0.
+    assert main(["trace-diff", str(a), str(b)]) == 0
+    capsys.readouterr()
+    rc = main(["trace-diff", str(a), str(b), "--fail-on-regression", "25"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.err and "solve" in captured.err
+    # A generous threshold passes.
+    assert main(["trace-diff", str(a), str(b), "--fail-on-regression", "200"]) == 0
+    assert "no regressions past 200" in capsys.readouterr().out
+
+
+def test_trace_diff_reports_structure_and_attr_changes(tmp_path, capsys):
+    from repro.obs import Span, write_trace
+
+    a = _write_fixture_trace(tmp_path / "a.json", extra_attrs={"n": 64})
+    b = _write_fixture_trace(tmp_path / "b.json", extra_attrs={"n": 128})
+    assert main(["trace-diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "attr changed on mapper.map: n: 64 -> 128" in out
+    other = tmp_path / "other.json"
+    write_trace(other, [Span("different.root", t_start=0.0, t_end=1.0)])
+    assert main(["trace-diff", str(a), str(other)]) == 0
+    out = capsys.readouterr().out
+    assert "structure: differs" in out
+    assert "only in A: mapper.map" in out
+    assert "only in B: different.root" in out
+
+
+def test_trace_export_chrome(tmp_path, capsys):
+    import json
+
+    trace = _write_fixture_trace(tmp_path / "t.json")
+    assert main(["trace-export", str(trace), "--chrome"]) == 0
+    out_msg = capsys.readouterr().out
+    default_out = tmp_path / "t.chrome.json"
+    assert str(default_out) in out_msg
+    doc = json.loads(default_out.read_text())
+    assert {e["name"] for e in doc["traceEvents"]} == {"mapper.map", "solve"}
+    explicit = tmp_path / "custom.json"
+    assert main(["trace-export", str(trace), "--chrome", "-o", str(explicit)]) == 0
+    assert explicit.is_file()
+
+
+def test_trace_export_requires_format(tmp_path, capsys):
+    trace = _write_fixture_trace(tmp_path / "t.json")
+    assert main(["trace-export", str(trace)]) == 2
+    assert "--chrome" in capsys.readouterr().err
+
+
+def test_bench_check_with_record_files(tmp_path, capsys):
+    import json
+
+    def write_records(name, seconds):
+        path = tmp_path / name
+        path.write_text(
+            json.dumps(
+                [{"schema": 2, "bench": "core", "n": 64, "m": 4, "seconds": seconds}]
+            )
+        )
+        return path
+
+    baseline = write_records("base.json", 1.0)
+    steady = write_records("steady.json", 1.1)
+    rc = main(
+        ["bench-check", "--baseline", str(baseline), "--current", str(steady)]
+    )
+    assert rc == 0
+    assert "0 fail" in capsys.readouterr().out
+    slow = write_records("slow.json", 3.0)
+    rc = main(["bench-check", "--baseline", str(baseline), "--current", str(slow)])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "FAIL core" in captured.err
+    # A slowdown between warn and fail thresholds warns but passes.
+    warm = write_records("warm.json", 1.5)
+    rc = main(["bench-check", "--baseline", str(baseline), "--current", str(warm)])
+    assert rc == 0
+    assert "WARN core" in capsys.readouterr().err
+
+
+def test_bench_check_rejects_bad_baseline(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    ok = tmp_path / "ok.json"
+    ok.write_text("[]")
+    rc = main(["bench-check", "--baseline", str(bad), "--current", str(ok)])
+    assert rc == 2
+    assert "error: baseline" in capsys.readouterr().err
