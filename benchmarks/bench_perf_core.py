@@ -156,6 +156,9 @@ def main(argv: list[str] | None = None) -> int:
             records.append(bench_aggregate(n, sparse, args.quick))
             records.append(bench_batch_cost(n, sparse, args.quick))
         records.append(bench_sample_assignments(n, args.quick))
+    # Sparse-only large-N row: exercises the CSR fast path where a dense
+    # evaluation would be prohibitive (n^2 = 16.7M entries per mapping).
+    records.append(bench_batch_cost(4096, sparse=True, quick=args.quick))
 
     path = update_bench_json(records)
     lines = ["bench                          n      m    seconds"]

@@ -1,4 +1,4 @@
-"""The domain-specific rule catalog (RPR001-RPR006).
+"""The domain-specific rule catalog (RPR001-RPR007).
 
 Each rule is a small stateless object: it declares the AST node types it
 wants to see, and the engine's single visitor pass calls
@@ -45,6 +45,14 @@ RPR006  no-direct-span-construction
     diverge from the trace schema.  Create spans via the recorder API —
     ``get_recorder().span(...)`` / ``SpanRecorder`` — as the simmpi
     profile bridge does.
+
+RPR007  no-dense-cg-in-hot-paths
+    ``dense_CG()``/``dense_AG()`` materialize O(N^2) float64 from a
+    sparse problem — gigabytes at the multilevel mapper's target scales.
+    Algorithm code in ``core/``, ``baselines/`` and ``faults/`` must go
+    through the cached CSR views (``cg_csr()``/``ag_csr()``) or operate
+    on the stored matrices directly; any genuinely-dense call site must
+    be explicitly allowlisted (the allowlist ships empty).
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ __all__ = [
     "NoBareAssertRule",
     "NoWallClockRule",
     "NoDirectSpanConstructionRule",
+    "NoDenseCgInHotPathsRule",
     "ALL_RULES",
     "default_rules",
 ]
@@ -500,6 +509,56 @@ class NoDirectSpanConstructionRule(Rule):
             )
 
 
+# --------------------------------------------------------------------- RPR007
+
+#: The densifying MappingProblem methods banned from algorithm packages.
+_DENSE_METHODS = frozenset({"dense_CG", "dense_AG"})
+
+#: Packages whose modules are the cost/mapping hot paths.
+_HOT_PACKAGES = ("core", "baselines", "faults")
+
+
+class NoDenseCgInHotPathsRule(Rule):
+    """RPR007: hot-path code must not densify the sparse comm matrices."""
+
+    id = "RPR007"
+    name = "no-dense-cg-in-hot-paths"
+    rationale = (
+        "dense_CG()/dense_AG() allocate O(N^2) float64 from a sparse problem; "
+        "hot paths must use the cached CSR views (cg_csr()/ag_csr()) or the "
+        "stored matrices"
+    )
+    node_types = (ast.Call,)
+
+    #: ``"relpath::symbol"`` call sites allowed to densify anyway.  Kept
+    #: empty on purpose: every hot-path finding so far was fixable, and a
+    #: new entry should be a reviewed, deliberate exception.
+    allowlist: ClassVar[frozenset[str]] = frozenset()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        parts = Path(ctx.relpath).parts
+        return ctx.in_src and any(pkg in parts for pkg in _HOT_PACKAGES)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        call = node
+        assert isinstance(call, ast.Call)  # repro-lint: disable=RPR004
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _DENSE_METHODS:
+            return
+        # problem.py itself defines (and self-references) these methods.
+        if Path(ctx.relpath).name == "problem.py" and "core" in Path(ctx.relpath).parts:
+            return
+        if f"{ctx.relpath}::{ctx.symbol}" in self.allowlist:
+            return
+        yield self.finding(
+            call,
+            ctx,
+            f"{func.attr}() in a hot path materializes an O(N^2) dense matrix; "
+            "use the cached CSR view (cg_csr()/ag_csr()) or the stored "
+            "CG/AG directly",
+        )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     NoLegacyRngRule,
     NoFrozenViewRule,
@@ -507,6 +566,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoBareAssertRule,
     NoWallClockRule,
     NoDirectSpanConstructionRule,
+    NoDenseCgInHotPathsRule,
 )
 
 

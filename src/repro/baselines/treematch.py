@@ -46,6 +46,13 @@ def _symmetric_dense(problem: MappingProblem) -> np.ndarray:
     return sym
 
 
+def _block_sum(mat, rows: np.ndarray, cols: np.ndarray) -> float:
+    """``mat[rows, cols].sum()`` without densifying a sparse matrix."""
+    if sp.issparse(mat):
+        return float(mat[rows][:, cols].sum())
+    return float(mat[np.ix_(rows, cols)].sum())
+
+
 class TreeMatchMapper(Mapper):
     """Hierarchical affinity grouping + greedy subtree assignment.
 
@@ -157,10 +164,10 @@ class TreeMatchMapper(Mapper):
         lt = problem.LT
         placed_sites: list[tuple[int, int]] = []  # (cluster index, site)
 
+        # Block sums work directly on the stored matrices (sparse slicing
+        # for sparse problems) — no N x N densification.
         ag = problem.AG
-        if sp.issparse(ag):
-            ag = ag.toarray()
-        cg = problem.dense_CG()
+        cg = problem.CG
 
         def place_cost(cluster: list[int], site: int) -> float:
             """Cost of this cluster's traffic with already-placed ones."""
@@ -168,10 +175,10 @@ class TreeMatchMapper(Mapper):
             members = np.asarray(cluster)
             for other_idx, other_site in placed_sites:
                 others = np.asarray(clusters[other_idx])
-                c_out = cg[np.ix_(members, others)].sum()
-                c_in = cg[np.ix_(others, members)].sum()
-                a_out = ag[np.ix_(members, others)].sum()
-                a_in = ag[np.ix_(others, members)].sum()
+                c_out = _block_sum(cg, members, others)
+                c_in = _block_sum(cg, others, members)
+                a_out = _block_sum(ag, members, others)
+                a_in = _block_sum(ag, others, members)
                 total += (
                     a_out * lt[site, other_site]
                     + c_out * inv_bt[site, other_site]
@@ -179,8 +186,8 @@ class TreeMatchMapper(Mapper):
                     + c_in * inv_bt[other_site, site]
                 )
             # Internal traffic prefers fat intra-site links.
-            c_int = cg[np.ix_(members, members)].sum()
-            a_int = ag[np.ix_(members, members)].sum()
+            c_int = _block_sum(cg, members, members)
+            a_int = _block_sum(ag, members, members)
             total += a_int * lt[site, site] + c_int * inv_bt[site, site]
             return total
 

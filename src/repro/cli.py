@@ -127,6 +127,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="fraction of processes pinned by data-movement constraints",
     )
+    app_common.add_argument(
+        "--multilevel",
+        action="store_true",
+        help="use the multilevel coarsen->map->uncoarsen pipeline "
+        "(map: instead of --mapper; compare: as an extra column) — "
+        "the scalable choice for large N",
+    )
 
     p_map = sub.add_parser("map", parents=[app_common], help="map with one algorithm")
     p_map.add_argument(
@@ -336,7 +343,7 @@ def _cmd_map(args) -> int:
     problem = build_problem(
         app, topo, constraint_ratio=args.constraint_ratio, seed=args.seed
     )
-    mapper = get_mapper(args.mapper)
+    mapper = get_mapper("multilevel" if args.multilevel else args.mapper)
     mapping = mapper.map(problem, seed=args.seed)
     print(
         f"{args.app} ({app.num_ranks} processes) mapped by {mapping.mapper}: "
@@ -357,7 +364,10 @@ def _cmd_compare(args) -> int:
     problem = build_problem(
         app, topo, constraint_ratio=args.constraint_ratio, seed=args.seed
     )
-    results = run_comparison(app, problem, default_mappers(), seed=args.seed)
+    mappers = default_mappers()
+    if args.multilevel:
+        mappers["Multilevel"] = get_mapper("multilevel")
+    results = run_comparison(app, problem, mappers, seed=args.seed)
     base = results["Baseline"]
     rows = [
         [

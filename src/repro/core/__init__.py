@@ -36,7 +36,15 @@ from .mapping import (
     register_mapper,
     validate_assignment,
 )
-from .problem import UNCONSTRAINED, InfeasibleProblemError, MappingProblem
+from .multilevel import MultilevelMapper, contract, heavy_edge_matching
+from .problem import (
+    UNCONSTRAINED,
+    CSRArrays,
+    DenseMaterializationError,
+    InfeasibleProblemError,
+    MappingProblem,
+    dense_materialize_limit,
+)
 from .repair import UNPLACED, IncrementalRepairMapper, RepairResult, repair_mapping
 
 __all__ = [
@@ -62,6 +70,12 @@ __all__ = [
     "validate_assignment",
     "UNCONSTRAINED",
     "UNPLACED",
+    "CSRArrays",
+    "DenseMaterializationError",
+    "dense_materialize_limit",
+    "MultilevelMapper",
+    "contract",
+    "heavy_edge_matching",
     "InfeasibleProblemError",
     "IncrementalRepairMapper",
     "RepairResult",

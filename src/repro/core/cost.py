@@ -69,10 +69,10 @@ def aggregate_site_traffic(problem: MappingProblem, P: np.ndarray) -> tuple[np.n
     n, m = problem.num_processes, problem.num_sites
     P = _check_assignment(P, n, m)
     if problem.is_sparse:
-        cg = problem.CG.tocoo()
-        ag = problem.AG.tocoo()
-        vol = _bincount_pairs(P[cg.row], P[cg.col], cg.data, m)
-        cnt = _bincount_pairs(P[ag.row], P[ag.col], ag.data, m)
+        cg = problem.cg_csr()
+        ag = problem.ag_csr()
+        vol = _bincount_pairs(P[cg.rows], P[cg.indices], cg.data, m)
+        cnt = _bincount_pairs(P[ag.rows], P[ag.indices], ag.data, m)
         return vol, cnt
     # Dense path: S @ CG @ S.T with S the one-hot site indicator.
     # O(N^2 * M) BLAS flops, O(N * M) extra memory -- no (N, N)
@@ -160,16 +160,43 @@ class CostEvaluator:
                 f"Ps must be (B, {self.problem.num_processes}), got {Ps.shape}"
             )
         if self.problem.is_sparse:
-            cg = self.problem.CG.tocoo()
-            ag = self.problem.AG.tocoo()
-            src = Ps[:, cg.row]  # (B, nnz)
-            dst = Ps[:, cg.col]
-            out = (cg.data[None, :] * self._inv_bt[src, dst]).sum(axis=1)
-            src = Ps[:, ag.row]
-            dst = Ps[:, ag.col]
-            out += (ag.data[None, :] * self._lt[src, dst]).sum(axis=1)
-            return out
+            return self._batch_cost_sparse(Ps)
         return self._batch_cost_dense(Ps)
+
+    def _batch_cost_sparse(self, Ps: np.ndarray) -> np.ndarray:
+        """Chunked sparse batch evaluation over the cached CSR views.
+
+        For a chunk of mappings the flattened site-pair codes
+        ``P[src] * M + P[dst]`` of the nnz edges index 1/BT and LT in one
+        gather each; the per-mapping cost is then a (chunk, nnz) @ (nnz,)
+        GEMV against the edge weights.  When CG and AG share a sparsity
+        pattern (the common case: both derive from the same trace) the
+        codes are computed once and reused for both contractions.
+        """
+        m = self.problem.num_sites
+        cg = self.problem.cg_csr()
+        ag = self.problem.ag_csr()
+        lt_flat = self._lt.ravel()
+        ibt_flat = self._inv_bt.ravel()
+        shared = cg.nnz == ag.nnz and np.array_equal(cg.indptr, ag.indptr) and np.array_equal(
+            cg.indices, ag.indices
+        )
+        b = Ps.shape[0]
+        Ps = Ps.astype(np.int64, copy=False)
+        out = np.empty(b)
+        per_row = cg.nnz + (0 if shared else ag.nnz)
+        chunk = max(1, self._DENSE_CHUNK_ELEMS // max(1, per_row))
+        for start in range(0, b, chunk):
+            pc = Ps[start : start + chunk]
+            codes = pc[:, cg.rows] * m + pc[:, cg.indices]  # (c, nnz)
+            acc = ibt_flat[codes] @ cg.data
+            if shared:
+                acc += lt_flat[codes] @ ag.data
+            else:
+                codes = pc[:, ag.rows] * m + pc[:, ag.indices]
+                acc += lt_flat[codes] @ ag.data
+            out[start : start + chunk] = acc
+        return out
 
     def _batch_cost_dense(self, Ps: np.ndarray) -> np.ndarray:
         """Chunked fully-vectorized dense batch evaluation.
@@ -220,6 +247,8 @@ class CostEvaluator:
         """Cost change of re-mapping process ``i`` to ``new_site``.
 
         Exact; the diagonal terms vanish because CG/AG have zero diagonals.
+        Sparse problems touch only the O(row nnz) stored neighbors of
+        ``i`` instead of densifying its rows.
         """
         n, m = self.problem.num_processes, self.problem.num_sites
         P = _check_assignment(P, n, m)
@@ -227,18 +256,45 @@ class CostEvaluator:
             raise IndexError(f"process index {i} out of range for N={n}")
         if not 0 <= new_site < m:
             raise IndexError(f"site index {new_site} out of range for M={m}")
-        old = P[i]
+        return self._move_delta_unchecked(P, i, new_site)
+
+    def _move_delta_unchecked(self, P: np.ndarray, i: int, new_site: int) -> float:
+        """``move_delta`` without argument validation.
+
+        Inner-loop entry point for refinement passes (multilevel
+        uncoarsening, repair) that re-evaluate thousands of candidate
+        moves against an assignment they already know is valid — the
+        O(N) ``_check_assignment`` would otherwise dominate the O(row
+        nnz) delta itself.
+        """
+        old = int(P[i])
         if old == new_site:
             return 0.0
+        lt, ibt = self._lt, self._inv_bt
+        if self.problem.is_sparse:
+            delta = 0.0
+            for csr, csc, table in (
+                (self._cg_rows, self._cg_cols, ibt),
+                (self._ag_rows, self._ag_cols, lt),
+            ):
+                s, e = csr.indptr[i], csr.indptr[i + 1]
+                nbrs, w = csr.indices[s:e], csr.data[s:e]
+                sites = P[nbrs]
+                delta += w @ (table[new_site, sites] - table[old, sites])
+                s, e = csc.indptr[i], csc.indptr[i + 1]
+                nbrs, w = csc.indices[s:e], csc.data[s:e]
+                sites = P[nbrs]
+                delta += w @ (table[sites, new_site] - table[sites, old])
+            return float(delta)
         cg_out, cg_in, ag_out, ag_in = self._rows_for(i)
         sites = P
         out_delta = (
-            ag_out @ (self._lt[new_site, sites] - self._lt[old, sites])
-            + cg_out @ (self._inv_bt[new_site, sites] - self._inv_bt[old, sites])
+            ag_out @ (lt[new_site, sites] - lt[old, sites])
+            + cg_out @ (ibt[new_site, sites] - ibt[old, sites])
         )
         in_delta = (
-            ag_in @ (self._lt[sites, new_site] - self._lt[sites, old])
-            + cg_in @ (self._inv_bt[sites, new_site] - self._inv_bt[sites, old])
+            ag_in @ (lt[sites, new_site] - lt[sites, old])
+            + cg_in @ (ibt[sites, new_site] - ibt[sites, old])
         )
         # The i-th entries contribute LT[new, old_i_site] style terms where
         # i's own site appears; but i's row/col diagonal entries are zero,

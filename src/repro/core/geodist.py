@@ -61,18 +61,48 @@ def _symmetric_traffic(problem: MappingProblem):
 def _affinity_row(sym, proc: int) -> np.ndarray:
     """Row ``proc`` of the symmetric traffic matrix as a dense vector."""
     if sp.issparse(sym):
-        return sym.getrow(proc).toarray().ravel()
+        out = np.zeros(sym.shape[1])
+        start, end = sym.indptr[proc], sym.indptr[proc + 1]
+        out[sym.indices[start:end]] = sym.data[start:end]
+        return out
     return sym[proc, :]
 
 
-def _affinity_rows_sum(sym, procs: np.ndarray) -> np.ndarray:
-    """Summed affinity rows of ``procs`` in one row-slice + reduction.
+def _add_affinity_row(acc: np.ndarray, sym, proc: int) -> None:
+    """In-place ``acc += row proc of sym`` touching only stored entries.
 
-    Replaces the seed implementation's per-resident ``_affinity_row``
-    accumulation loop when a site is (re)opened.
+    CSR rows are canonical (sorted, duplicate-free), so the fancy add is
+    exact; the sparse path scatters O(row nnz) values instead of
+    materializing a dense row per greedy placement.
     """
     if sp.issparse(sym):
-        return np.asarray(sym[procs].sum(axis=0)).ravel()
+        start, end = sym.indptr[proc], sym.indptr[proc + 1]
+        acc[sym.indices[start:end]] += sym.data[start:end]
+    else:
+        acc += sym[proc, :]
+
+
+def _affinity_rows_sum(sym, procs: np.ndarray) -> np.ndarray:
+    """Summed affinity rows of ``procs`` in one gather + bincount.
+
+    Replaces the seed implementation's per-resident ``_affinity_row``
+    accumulation loop when a site is (re)opened.  The sparse path slices
+    the CSR arrays directly — no intermediate ``sym[procs]`` matrix is
+    constructed.
+    """
+    if sp.issparse(sym):
+        procs = np.asarray(procs, dtype=np.int64)
+        starts = sym.indptr[procs]
+        counts = sym.indptr[procs + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(sym.shape[1])
+        # Concatenated per-row index ranges, fully vectorized.
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        idx = np.repeat(starts, counts) + (np.arange(total) - offsets)
+        return np.bincount(
+            sym.indices[idx], weights=sym.data[idx], minlength=sym.shape[1]
+        )
     return sym[procs].sum(axis=0)
 
 
@@ -198,7 +228,7 @@ def _fill_group(
                 masked_w[t] = neg_inf
                 avail[site] -= 1
                 state.num_placed += 1
-                masked_w += _affinity_row(sym, t)
+                _add_affinity_row(masked_w, sym, t)
 
         site_done[site] = True
     return seed_picks, affinity_picks, fallback_picks

@@ -17,6 +17,7 @@ sites are 0-indexed and an *unconstrained* process has ``C[i] == -1``
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -28,10 +29,45 @@ from .._validation import check_square_matrix, check_vector
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..cloud.topology import CloudTopology
 
-__all__ = ["MappingProblem", "InfeasibleProblemError", "UNCONSTRAINED"]
+__all__ = [
+    "MappingProblem",
+    "InfeasibleProblemError",
+    "DenseMaterializationError",
+    "CSRArrays",
+    "UNCONSTRAINED",
+    "DENSE_LIMIT_ENV",
+    "dense_materialize_limit",
+]
 
 #: Sentinel constraint value meaning "this process may map anywhere".
 UNCONSTRAINED = -1
+
+#: Environment variable overriding the dense-materialization N threshold.
+DENSE_LIMIT_ENV = "REPRO_DENSE_MATERIALIZE_LIMIT"
+
+#: Default largest N for which ``dense_CG()``/``dense_AG()`` will densify a
+#: sparse matrix (8192^2 float64 is already ~512 MiB *per matrix*).
+_DEFAULT_DENSE_LIMIT = 8192
+
+
+def dense_materialize_limit() -> int:
+    """The N threshold above which sparse->dense materialization refuses.
+
+    Reads :data:`DENSE_LIMIT_ENV` on every call (cheap) so tests and
+    operators can raise or lower the guard without rebuilding problems.
+    """
+    raw = os.environ.get(DENSE_LIMIT_ENV, "")
+    if not raw:
+        return _DEFAULT_DENSE_LIMIT
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{DENSE_LIMIT_ENV} must be an integer N threshold, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{DENSE_LIMIT_ENV} must be positive, got {value}")
+    return value
 
 
 class InfeasibleProblemError(ValueError):
@@ -42,6 +78,45 @@ class InfeasibleProblemError(ValueError):
     fail actionably instead of surfacing as opaque shape or fill errors
     deep inside a mapper.
     """
+
+
+class DenseMaterializationError(MemoryError):
+    """A sparse matrix was about to be densified past the size guard.
+
+    ``dense_CG()``/``dense_AG()`` on an N x N sparse matrix allocate
+    ``N^2 * 8`` bytes; above :func:`dense_materialize_limit` that is
+    gigabytes handed out silently.  Hot paths must use the cached CSR
+    view (:meth:`MappingProblem.cg_csr` / :meth:`MappingProblem.ag_csr`)
+    instead; callers that truly need the dense array can raise the
+    threshold via :data:`DENSE_LIMIT_ENV`.
+    """
+
+
+@dataclass(frozen=True)
+class CSRArrays:
+    """Read-only CSR triplet of one comm matrix, plus expanded COO rows.
+
+    ``indptr``/``indices``/``data`` are the standard CSR arrays (shared
+    with the problem's stored matrix, never copies); ``rows`` is the
+    COO-style row index of every stored entry (``len == nnz``), which is
+    what the aggregation and batch-cost kernels gather against — caching
+    it here removes the per-call ``tocoo()`` conversion those kernels
+    used to pay.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    rows: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(indices, data) of stored entries in row ``i`` — O(1) views."""
+        start, end = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[start:end], self.data[start:end]
 
 
 def _check_comm_matrix(mat, name: str, size: int | None):
@@ -60,6 +135,11 @@ def _check_comm_matrix(mat, name: str, size: int | None):
             raise ValueError(f"{name} contains negative entries")
         if np.any(m.diagonal() != 0):
             raise ValueError(f"{name} must have a zero diagonal")
+        # Canonicalize once so the cached CSR view (and every kernel
+        # reading it) sees sorted, duplicate-free arrays that can then be
+        # frozen like the dense matrices are.
+        m.sum_duplicates()
+        m.sort_indices()
         return m
     arr = check_square_matrix(mat, name, size=size, nonnegative=True)
     if np.any(np.diagonal(arr) != 0):
@@ -151,13 +231,20 @@ class MappingProblem:
                 f"(deficit: {excess} nodes)"
             )
 
-        # Freeze what can be frozen (sparse matrices have no writeable flag).
+        # Freeze what can be frozen (a sparse matrix has no writeable flag
+        # itself, but its component arrays do).
         for name in ("LT", "BT", "capacities", "constraints"):
             getattr(self, name).setflags(write=False)
-        if isinstance(self.CG, np.ndarray):
-            self.CG.setflags(write=False)
-        if isinstance(self.AG, np.ndarray):
-            self.AG.setflags(write=False)
+        for mat in (self.CG, self.AG):
+            if isinstance(mat, np.ndarray):
+                mat.setflags(write=False)
+            else:
+                for arr in (mat.data, mat.indices, mat.indptr):
+                    arr.setflags(write=False)
+
+        # Lazily filled by cg_csr()/ag_csr(); not a dataclass field, so
+        # equality/repr stay defined by the problem data alone.
+        object.__setattr__(self, "_csr_cache", {})
 
     # ------------------------------------------------------------ properties
 
@@ -221,13 +308,68 @@ class MappingProblem:
             return np.asarray(cg.sum(axis=1)).ravel() + np.asarray(cg.sum(axis=0)).ravel()
         return cg.sum(axis=1) + cg.sum(axis=0)
 
+    def _materialize(self, mat: "np.ndarray | sp.csr_matrix", name: str) -> np.ndarray:
+        if not sp.issparse(mat):
+            return mat
+        n = mat.shape[0]
+        limit = dense_materialize_limit()
+        if n > limit:
+            gib = n * n * 8 / 2**30
+            raise DenseMaterializationError(
+                f"{name}() would materialize a {n}x{n} float64 array "
+                f"(~{gib:.1f} GiB) from a sparse matrix with {mat.nnz} stored "
+                f"entries; use the cached CSR view ({name.replace('dense_', '').lower()}_csr()) "
+                f"instead, or raise the guard via {DENSE_LIMIT_ENV} "
+                f"(currently {limit})"
+            )
+        return mat.toarray()
+
     def dense_CG(self) -> np.ndarray:
-        """CG as a dense array (views for dense input, materialized for sparse)."""
-        return self.CG.toarray() if sp.issparse(self.CG) else self.CG
+        """CG as a dense array (views for dense input, materialized for sparse).
+
+        Refuses to densify a sparse matrix above
+        :func:`dense_materialize_limit` — see
+        :class:`DenseMaterializationError`.
+        """
+        return self._materialize(self.CG, "dense_CG")
 
     def dense_AG(self) -> np.ndarray:
-        """AG as a dense array."""
-        return self.AG.toarray() if sp.issparse(self.AG) else self.AG
+        """AG as a dense array (same materialization guard as dense_CG)."""
+        return self._materialize(self.AG, "dense_AG")
+
+    def _csr_view(self, key: str) -> CSRArrays:
+        cache: dict[str, CSRArrays] = object.__getattribute__(self, "_csr_cache")
+        view = cache.get(key)
+        if view is None:
+            mat = self.CG if key == "CG" else self.AG
+            if not sp.issparse(mat):
+                raise TypeError(
+                    f"{key} is dense; the CSR view exists only for sparse "
+                    "problems (gate on problem.is_sparse)"
+                )
+            rows = np.repeat(
+                np.arange(mat.shape[0], dtype=np.int64), np.diff(mat.indptr)
+            )
+            rows.setflags(write=False)
+            view = CSRArrays(
+                indptr=mat.indptr, indices=mat.indices, data=mat.data, rows=rows
+            )
+            cache[key] = view
+        return view
+
+    def cg_csr(self) -> CSRArrays:
+        """Cached CSR triplet view of CG (sparse problems only).
+
+        The arrays are shared with the stored matrix (read-only, never
+        copies); the expanded COO ``rows`` index is computed once and
+        cached, which is what lets the aggregation/batch-cost kernels
+        skip the per-call ``tocoo()`` conversion.
+        """
+        return self._csr_view("CG")
+
+    def ag_csr(self) -> CSRArrays:
+        """Cached CSR triplet view of AG (sparse problems only)."""
+        return self._csr_view("AG")
 
     def with_constraints(self, constraints: np.ndarray | None) -> "MappingProblem":
         """Copy of the problem with a different constraint vector."""

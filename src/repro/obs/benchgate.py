@@ -56,6 +56,7 @@ QUICK_BENCH_SCRIPTS: tuple[str, ...] = (
     "bench_perf_core.py",
     "bench_perf_geodist.py",
     "bench_obs.py",
+    "bench_multilevel.py",
 )
 
 #: ``(bench, n, m)`` — stable across machines, unlike hostnames or paths.

@@ -1,0 +1,191 @@
+"""Unit tests for :mod:`repro.core.multilevel`.
+
+Covers the coarsening invariants the mapper's correctness rests on
+(conservation of edge weight and process quantity, projection
+bijection, pin survival) plus end-to-end determinism and quality.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    GeoDistributedMapper,
+    MappingProblem,
+    MultilevelMapper,
+    UNCONSTRAINED,
+    contract,
+    heavy_edge_matching,
+    total_cost,
+    validate_assignment,
+)
+from repro.obs import recording
+
+
+def _sparse_problem(
+    n: int, m: int = 4, *, seed: int = 0, pin_ratio: float = 0.0
+) -> MappingProblem:
+    """Clustered sparse problem with optional random pins."""
+    rng = np.random.default_rng(seed)
+    lt = np.full((m, m), 0.1)
+    np.fill_diagonal(lt, 0.001)
+    bt = np.full((m, m), 2e7)
+    np.fill_diagonal(bt, 1e9)
+    caps = np.full(m, -(-n // m) + 2)
+    coords = rng.uniform(-60.0, 60.0, size=(m, 2))
+
+    k = 8 * n
+    src = rng.integers(0, n, size=k)
+    dst = rng.integers(0, n, size=k)
+    w = rng.random(k) * 1e6
+    keep = src != dst
+    cg = sp.csr_matrix((w[keep], (src[keep], dst[keep])), shape=(n, n))
+    cg.sum_duplicates()
+    ag = cg.copy()
+    ag.data = np.ceil(ag.data / 1e5)
+
+    constraints = None
+    if pin_ratio > 0:
+        constraints = np.full(n, UNCONSTRAINED, dtype=np.int64)
+        pinned = rng.choice(n, size=int(n * pin_ratio), replace=False)
+        constraints[pinned] = rng.integers(0, m, size=pinned.size)
+    return MappingProblem(
+        CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps,
+        coordinates=coords, constraints=constraints,
+    )
+
+
+# ------------------------------------------------------------- matching
+
+
+def test_matching_is_symmetric_and_respects_pins():
+    problem = _sparse_problem(128, seed=3, pin_ratio=0.25)
+    mate = heavy_edge_matching(problem, np.random.default_rng(7))
+    matched = np.flatnonzero(mate >= 0)
+    assert matched.size > 0, "matching found no pairs on a dense-enough graph"
+    # Symmetric: mate[mate[i]] == i, and nobody is their own mate.
+    assert np.all(mate[mate[matched]] == matched)
+    assert np.all(mate[matched] != matched)
+    # Pin compatibility: merged vertices carry identical pins.
+    pins = problem.constraints
+    assert np.all(pins[matched] == pins[mate[matched]])
+
+
+def test_matching_deterministic_for_same_generator_seed():
+    problem = _sparse_problem(96, seed=1)
+    a = heavy_edge_matching(problem, np.random.default_rng(11))
+    b = heavy_edge_matching(problem, np.random.default_rng(11))
+    np.testing.assert_array_equal(a, b)
+
+
+# ----------------------------------------------------------- contraction
+
+
+def test_contract_conserves_edge_weight_and_quantity():
+    problem = _sparse_problem(128, seed=5)
+    sizes = np.ones(128, dtype=np.int64)
+    mate = heavy_edge_matching(problem, np.random.default_rng(2))
+    coarse, f2c, coarse_sizes, internal_vol, internal_cnt = contract(
+        problem, sizes, mate
+    )
+    # Total CG/AG weight is conserved: off-diagonal coarse weight plus
+    # the dropped self-loop (internal) weight equals the fine total.
+    assert coarse.CG.sum() + internal_vol == pytest.approx(problem.CG.sum())
+    assert coarse.AG.sum() + internal_cnt == pytest.approx(problem.AG.sum())
+    # Process quantity (node demand) is conserved.
+    assert coarse_sizes.sum() == 128
+    assert coarse_sizes.min() >= 1
+    # Site-side data passes through untouched.
+    np.testing.assert_array_equal(coarse.capacities, problem.capacities)
+    np.testing.assert_array_equal(coarse.LT, problem.LT)
+
+
+def test_contract_projection_is_a_surjection_with_exact_fibers():
+    problem = _sparse_problem(64, seed=9)
+    sizes = np.ones(64, dtype=np.int64)
+    mate = heavy_edge_matching(problem, np.random.default_rng(4))
+    coarse, f2c, coarse_sizes, _, _ = contract(problem, sizes, mate)
+    nc = coarse.num_processes
+    assert f2c.shape == (64,)
+    # Every fine vertex lands on a valid coarse vertex, and every coarse
+    # vertex has a nonempty preimage whose sizes sum to its quantity.
+    assert f2c.min() == 0 and f2c.max() == nc - 1
+    np.testing.assert_array_equal(np.unique(f2c), np.arange(nc))
+    np.testing.assert_array_equal(
+        np.bincount(f2c, weights=sizes, minlength=nc).astype(np.int64),
+        coarse_sizes,
+    )
+    # Matched pairs land on the same coarse vertex; singletons are alone.
+    matched = np.flatnonzero(mate >= 0)
+    assert np.all(f2c[matched] == f2c[mate[matched]])
+
+
+def test_pins_survive_contraction():
+    problem = _sparse_problem(128, seed=6, pin_ratio=0.3)
+    sizes = np.ones(128, dtype=np.int64)
+    mate = heavy_edge_matching(problem, np.random.default_rng(8))
+    coarse, f2c, _, _, _ = contract(problem, sizes, mate)
+    # Each fine vertex's pin reappears verbatim on its coarse vertex.
+    np.testing.assert_array_equal(coarse.constraints[f2c], problem.constraints)
+
+
+def test_contract_rejects_malformed_vectors():
+    problem = _sparse_problem(32, seed=0)
+    mate = np.full(32, -1, dtype=np.int64)
+    with pytest.raises(ValueError):
+        contract(problem, np.ones(31, dtype=np.int64), mate)
+    with pytest.raises(ValueError):
+        contract(problem, np.ones(32, dtype=np.int64), mate[:10])
+
+
+# ------------------------------------------------------------ end to end
+
+
+def test_multilevel_same_seed_is_bit_identical():
+    problem = _sparse_problem(512, seed=2, pin_ratio=0.1)
+    mapper = MultilevelMapper(kappa=2, coarsest_size=64)
+    a = mapper.map(problem, seed=42)
+    b = mapper.map(problem, seed=42)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+    assert a.cost == b.cost
+
+
+def test_multilevel_valid_and_within_quality_bound():
+    problem = _sparse_problem(512, seed=4, pin_ratio=0.1)
+    result = MultilevelMapper(kappa=2, coarsest_size=64).map(problem, seed=0)
+    validate_assignment(problem, result.assignment)  # capacities + pins
+    direct = GeoDistributedMapper(kappa=2).map(problem, seed=0)
+    assert result.cost <= 1.10 * direct.cost
+    assert result.cost == pytest.approx(total_cost(problem, result.assignment))
+
+
+def test_multilevel_respects_pins_end_to_end():
+    problem = _sparse_problem(256, seed=7, pin_ratio=0.25)
+    result = MultilevelMapper(kappa=2, coarsest_size=32).map(problem, seed=1)
+    pinned = problem.constraints != UNCONSTRAINED
+    np.testing.assert_array_equal(
+        result.assignment[pinned], problem.constraints[pinned]
+    )
+
+
+def test_multilevel_meta_and_trace_structure():
+    problem = _sparse_problem(512, seed=3)
+    with recording() as rec:
+        result = MultilevelMapper(kappa=2, coarsest_size=64).map(problem, seed=0)
+    levels = result.meta["levels"]
+    assert levels[0]["n"] == 512
+    # Strictly shrinking level sizes down to the coarsest.
+    ns = [lv["n"] for lv in levels]
+    assert ns == sorted(ns, reverse=True) and len(set(ns)) == len(ns)
+    names = [s.name for root in rec.roots for s in root.iter()]
+    for required in ("multilevel.coarsen", "multilevel.solve", "multilevel.refine"):
+        assert required in names, f"missing span: {required}"
+
+
+def test_multilevel_small_problem_falls_through_to_inner():
+    # Below coarsest_size no levels are built; the inner mapper solves
+    # the original problem directly and the result is still valid.
+    problem = _sparse_problem(48, seed=8)
+    result = MultilevelMapper(kappa=2, coarsest_size=64).map(problem, seed=0)
+    validate_assignment(problem, result.assignment)
+    assert len(result.meta["levels"]) == 1

@@ -146,3 +146,66 @@ def test_matrices_are_frozen():
         p.LT[0, 0] = 5.0
     with pytest.raises(ValueError):
         p.CG[0, 1] = 5.0
+
+
+def test_dense_view_guard_blocks_large_materialization(monkeypatch):
+    from repro.core import DenseMaterializationError, dense_materialize_limit
+    from repro.core.problem import DENSE_LIMIT_ENV
+
+    cg, ag, lt, bt, caps = _matrices()
+    p = MappingProblem(
+        CG=sp.csr_matrix(cg), AG=sp.csr_matrix(ag), LT=lt, BT=bt, capacities=caps
+    )
+    monkeypatch.setenv(DENSE_LIMIT_ENV, "4")  # below n=6
+    assert dense_materialize_limit() == 4
+    with pytest.raises(DenseMaterializationError, match="dense_CG"):
+        p.dense_CG()
+    with pytest.raises(DenseMaterializationError, match=DENSE_LIMIT_ENV):
+        p.dense_AG()
+    # DenseMaterializationError is a MemoryError so existing handlers
+    # that guard big allocations catch it too.
+    assert issubclass(DenseMaterializationError, MemoryError)
+    # Raising the guard lets the call through again.
+    monkeypatch.setenv(DENSE_LIMIT_ENV, "16")
+    np.testing.assert_allclose(p.dense_CG(), cg)
+
+
+def test_dense_view_guard_rejects_bad_env(monkeypatch):
+    from repro.core.problem import DENSE_LIMIT_ENV, dense_materialize_limit
+
+    monkeypatch.setenv(DENSE_LIMIT_ENV, "zero")
+    with pytest.raises(ValueError, match=DENSE_LIMIT_ENV):
+        dense_materialize_limit()
+    monkeypatch.setenv(DENSE_LIMIT_ENV, "-3")
+    with pytest.raises(ValueError, match=DENSE_LIMIT_ENV):
+        dense_materialize_limit()
+
+
+def test_csr_views_cached_readonly_and_consistent():
+    cg, ag, lt, bt, caps = _matrices()
+    p = MappingProblem(
+        CG=sp.csr_matrix(cg), AG=sp.csr_matrix(ag), LT=lt, BT=bt, capacities=caps
+    )
+    view = p.cg_csr()
+    assert view is p.cg_csr()  # cached, built once
+    assert not view.data.flags.writeable
+    assert not view.rows.flags.writeable
+    # The triplet round-trips to the original matrix.
+    rebuilt = sp.csr_matrix(
+        (view.data, view.indices, view.indptr), shape=(6, 6)
+    ).toarray()
+    np.testing.assert_allclose(rebuilt, cg)
+    # Expanded COO rows agree with indptr run lengths.
+    np.testing.assert_array_equal(
+        view.rows, np.repeat(np.arange(6), np.diff(view.indptr))
+    )
+    assert view.nnz == p.CG.nnz
+
+
+def test_csr_views_reject_dense_problems():
+    cg, ag, lt, bt, caps = _matrices()
+    p = MappingProblem(CG=cg, AG=ag, LT=lt, BT=bt, capacities=caps)
+    with pytest.raises(TypeError):
+        p.cg_csr()
+    with pytest.raises(TypeError):
+        p.ag_csr()
