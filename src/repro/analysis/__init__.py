@@ -1,41 +1,77 @@
 """Domain-aware static analysis for the repro mapping stack.
 
-``repro-lint`` (also ``python -m repro.analysis``) runs one AST pass
-with pluggable :class:`~repro.analysis.rules.Rule` objects over the
-library and benchmark sources, enforcing the invariants the fast paths
-rely on:
+``repro-lint`` (also ``python -m repro.analysis``) runs two stages over
+the library and benchmark sources.  Stage 1 is one AST pass per file
+with pluggable :class:`~repro.analysis.rules.Rule` objects; stage 2
+summarizes every module, resolves a conservative project call graph
+(:mod:`~repro.analysis.callgraph`), and runs the
+:class:`~repro.analysis.graph_rules.ProjectRule` families over it:
 
-=======  ======================  ================================================
-Rule     Name                    Contract enforced
-=======  ======================  ================================================
-RPR001   no-legacy-rng           randomness flows through ``_validation.as_rng``
-RPR002   no-frozen-views         no returned/stored views of CG/AG/LT/BT
-RPR003   validate-public-entry   entry points validate arrays via ``_validation``
-RPR004   no-bare-assert          no ``-O``-strippable invariant checks in src/
-RPR005   no-wall-clock           benchmarks time with ``perf_counter`` only
-=======  ======================  ================================================
+=======  ==========================  ============================================
+Rule     Name                        Contract enforced
+=======  ==========================  ============================================
+RPR001   no-legacy-rng               randomness flows through ``_validation.as_rng``
+RPR002   no-frozen-views             no returned/stored views of CG/AG/LT/BT
+RPR003   validate-public-entry       entry points validate arrays via ``_validation``
+RPR004   no-bare-assert              no ``-O``-strippable invariant checks in src/
+RPR005   no-wall-clock               benchmarks time with ``perf_counter`` only
+RPR006   no-direct-span              spans come from the ambient recorder
+RPR007   no-dense-cg-in-hot-paths    per-file dense-materialization ban
+RPR008   unseeded-rng-reachable      no global/wall-clock RNG reachable from
+                                     seeded entry points (graph)
+RPR009   shared-mutable-capture      no shared mutable state across
+                                     ``executor.submit``/``map`` (graph)
+RPR010   hot-path-dense-reachability ``dense_CG``/``dense_AG`` unreachable from
+                                     ``Mapper.map``/``Simulator.run`` (graph)
+=======  ==========================  ============================================
 
 Findings can be silenced inline (``# repro-lint: disable=RPR003``) or
 grandfathered in the checked-in ``.repro-lint-baseline.json``; anything
-else fails the run (and CI).
+else fails the run (and CI).  Graph findings fingerprint on qualified
+symbol names, so baselines survive file moves.  ``--cache`` enables the
+content-hash incremental cache; ``--changed-only`` is the fast
+pre-commit mode; ``--format sarif`` feeds GitHub code scanning.
 """
 
 from __future__ import annotations
 
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
-from .engine import LintResult, lint_file, lint_paths, lint_source
+from .cache import DEFAULT_CACHE_NAME, LintCache
+from .callgraph import CallGraph, ProjectIndex, build_call_graph
+from .engine import LintResult, lint_file, lint_paths, lint_source, lint_sources
 from .findings import Finding
+from .graph_rules import (
+    ALL_PROJECT_RULES,
+    ProjectGraph,
+    ProjectRule,
+    build_project_graph,
+    default_project_rules,
+)
+from .project import ModuleSummary, summarize_source
 from .rules import ALL_RULES, Rule, default_rules
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
     "Baseline",
+    "CallGraph",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CACHE_NAME",
     "Finding",
+    "LintCache",
     "LintResult",
+    "ModuleSummary",
+    "ProjectGraph",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
+    "build_call_graph",
+    "build_project_graph",
+    "default_project_rules",
     "default_rules",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "summarize_source",
 ]

@@ -1,0 +1,163 @@
+"""Per-file content-hash incremental cache (``.repro-lint-cache.json``).
+
+A warm run must be *bit-identical* in findings to a cold run, so the
+cache stores exactly what the cold pass produces per file and nothing
+derived across files:
+
+* the file's sha256 (the invalidation key — mtimes lie under git),
+* the per-file findings (post-suppression) as their JSON payloads,
+* the suppressed count and any parse error,
+* the :class:`~.project.ModuleSummary` JSON.
+
+The project pass — call-graph build + RPR008/009/010 — is **recomputed
+from the summaries on every run**.  It is cheap (pure dict walking, no
+parsing) and recomputing it is what makes warm findings provably
+identical to cold ones: the only cached inputs are per-file facts keyed
+by content hash.
+
+The whole cache is invalidated when the active rule set or the cache
+schema changes (the ``signature`` field), so editing a rule never
+serves stale findings.  A corrupt or unreadable cache file degrades to
+a cold run, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from .findings import Finding
+from .project import ModuleSummary
+
+__all__ = ["CACHE_VERSION", "DEFAULT_CACHE_NAME", "CachedFile", "LintCache"]
+
+#: Bump when the cached payload shape (or summary extraction) changes.
+CACHE_VERSION = 1
+
+#: Default cache file name, created next to the lint root.
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+
+def _signature(rule_ids: Sequence[str]) -> str:
+    """Cache-wide validity key: schema version + active rule set."""
+    return f"v{CACHE_VERSION}:" + ",".join(sorted(set(rule_ids)))
+
+
+def file_digest(data: bytes) -> str:
+    """Content hash used as the per-file cache key."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class CachedFile:
+    """Everything the cold pass produced for one file."""
+
+    digest: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    error: str = ""
+    summary: ModuleSummary | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": self.suppressed,
+            "error": self.error,
+            "summary": None if self.summary is None else self.summary.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "CachedFile":
+        summary = payload.get("summary")
+        return cls(
+            digest=str(payload["digest"]),
+            findings=[Finding.from_json(f) for f in payload["findings"]],
+            suppressed=int(payload["suppressed"]),
+            error=str(payload.get("error", "")),
+            summary=None if summary is None else ModuleSummary.from_json(summary),
+        )
+
+
+class LintCache:
+    """Load/query/update/save the per-file results keyed by content hash."""
+
+    def __init__(self, path: Path, rule_ids: Sequence[str]) -> None:
+        self.path = path
+        self.signature = _signature(rule_ids)
+        self._entries: dict[str, CachedFile] = {}
+        #: Stats for the CLI summary line.
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("signature") != self.signature:
+            return  # rule set or schema changed: start cold
+        entries = payload.get("files")
+        if not isinstance(entries, dict):
+            return
+        for relpath, entry in entries.items():
+            try:
+                self._entries[str(relpath)] = CachedFile.from_json(entry)
+            except (KeyError, TypeError, ValueError):
+                continue  # one bad entry degrades that file to cold
+
+    def get(self, relpath: str, digest: str) -> CachedFile | None:
+        """The cached result for ``relpath`` iff its content still matches."""
+        entry = self._entries.get(relpath)
+        if entry is not None and entry.digest == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, relpath: str, entry: CachedFile) -> None:
+        self._entries[relpath] = entry
+
+    def prune(self, keep: Sequence[str]) -> None:
+        """Drop entries for files no longer part of the lint run."""
+        wanted = set(keep)
+        for relpath in list(self._entries):
+            if relpath not in wanted:
+                del self._entries[relpath]
+
+    def save(self) -> None:
+        """Atomically persist (tmp + ``os.replace``); failures are silent.
+
+        A read-only checkout must still be able to lint — the cache is
+        an accelerator, never a requirement.
+        """
+        payload = {
+            "signature": self.signature,
+            "files": {
+                relpath: entry.to_json()
+                for relpath, entry in sorted(self._entries.items())
+            },
+        }
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+            )
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -2,19 +2,35 @@
 
 Exit codes: 0 clean (or everything baselined/suppressed), 1 new findings
 or unparsable files, 2 usage errors.
+
+Two speed knobs for day-to-day use:
+
+* ``--cache [FILE]`` — per-file content-hash incremental cache
+  (default file: ``.repro-lint-cache.json``).  Unchanged files replay
+  their cached findings and module summary; the project pass is always
+  recomputed from the summaries, so warm findings are bit-identical to
+  a cold run.
+* ``--changed-only`` — lint only files ``git diff`` (against ``HEAD``)
+  plus untracked files report, and **skip the project pass** (a call
+  graph over a partial file set would under-approximate reachability
+  and silently miss findings).  This is the pre-commit mode; CI runs
+  the full graph.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import IO
 
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .cache import DEFAULT_CACHE_NAME, LintCache
 from .engine import lint_paths
-from .rules import ALL_RULES, default_rules
-from .reporters import render_json, render_text
+from .graph_rules import ALL_PROJECT_RULES, ProjectRule, default_project_rules
+from .rules import ALL_RULES, Rule, default_rules
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = ["main", "build_parser"]
 
@@ -24,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "Domain-aware static analysis for the repro mapping stack "
-            "(rules RPR001-RPR005)."
+            "(per-file rules RPR001-RPR007, call-graph rules RPR008-RPR010)."
         ),
     )
     parser.add_argument(
@@ -35,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -66,12 +82,91 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE_NAME,
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable the per-file incremental cache "
+            f"(default file: {DEFAULT_CACHE_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "lint only files changed per git (diff vs HEAD + untracked) "
+            "and skip the call-graph pass; the fast pre-commit mode"
+        ),
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the call-graph pass (rules RPR008-RPR010)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print call-graph and cache statistics to stderr",
+    )
     return parser
 
 
 def _list_rules(stream: IO[str]) -> None:
-    for cls in ALL_RULES:
+    for cls in [*ALL_RULES, *ALL_PROJECT_RULES]:
         stream.write(f"{cls.id}  {cls.name}\n    {cls.rationale}\n")
+
+
+def _select_rules(
+    select: str | None,
+) -> tuple[list[Rule], list[ProjectRule]]:
+    """Split a ``--select`` list between per-file and project rules."""
+    if select is None:
+        return default_rules(), default_project_rules()
+    wanted = {s.strip().upper() for s in select.split(",") if s.strip()}
+    file_ids = {cls.id for cls in ALL_RULES}
+    project_ids = {cls.id for cls in ALL_PROJECT_RULES}
+    unknown = wanted - file_ids - project_ids
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    file_sel = sorted(wanted & file_ids)
+    rules = default_rules(file_sel) if file_sel else []
+    return rules, default_project_rules(sorted(wanted & project_ids))
+
+
+def _changed_files(paths: list[Path]) -> list[Path]:
+    """Git-changed ``.py`` files (diff vs HEAD + untracked) under ``paths``.
+
+    Raises ``RuntimeError`` when git is unavailable or this is not a
+    work tree — ``--changed-only`` only makes sense inside one.
+    """
+    cmds = (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "--"],
+    )
+    names: list[str] = []
+    for cmd in cmds:
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise RuntimeError(
+                f"--changed-only needs git ({' '.join(cmd)} failed: {exc})"
+            ) from exc
+        names.extend(line for line in proc.stdout.splitlines() if line)
+    roots = [p.resolve() for p in paths]
+    changed: list[Path] = []
+    for name in sorted(set(names)):
+        candidate = Path(name)
+        if candidate.suffix != ".py" or not candidate.is_file():
+            continue
+        resolved = candidate.resolve()
+        if any(root == resolved or root in resolved.parents for root in roots):
+            changed.append(candidate)
+    return changed
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,7 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     try:
-        rules = default_rules(args.select.split(",")) if args.select else default_rules()
+        rules, project_rules = _select_rules(args.select)
     except ValueError as exc:
         parser.error(str(exc))
 
@@ -93,7 +188,29 @@ def main(argv: list[str] | None = None) -> int:
     if missing:
         parser.error(f"path(s) do not exist: {', '.join(map(str, missing))}")
 
-    result = lint_paths(paths, rules=rules)
+    run_project = not (args.no_project or args.changed_only)
+    if args.changed_only:
+        try:
+            paths = _changed_files(paths)
+        except RuntimeError as exc:
+            out.write(f"repro-lint: {exc}\n")
+            return 2
+        if not paths:
+            out.write("repro-lint: no changed .py files under the given paths\n")
+            return 0
+
+    cache: LintCache | None = None
+    if args.cache is not None:
+        rule_ids = [r.id for r in rules] + [r.id for r in project_rules]
+        cache = LintCache(Path(args.cache), rule_ids)
+
+    result = lint_paths(
+        paths,
+        rules=rules,
+        project_rules=project_rules,
+        project=run_project,
+        cache=cache,
+    )
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
     if args.write_baseline:
@@ -114,8 +231,19 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     new, baselined = baseline.partition(result.findings)
+    if args.stats:
+        stats = ", ".join(
+            f"{key}={value}" for key, value in sorted(result.graph_stats.items())
+        )
+        sys.stderr.write(
+            "repro-lint stats: "
+            + (f"graph[{stats}] " if stats else "graph[skipped] ")
+            + f"cache[hits={result.cache_hits}, misses={result.cache_misses}]\n"
+        )
     if args.format == "json":
         render_json(result, new, baselined, out)
+    elif args.format == "sarif":
+        render_sarif(result, new, baselined, out)
     else:
         render_text(result, new, baselined, out)
     return 1 if new or result.errors else 0

@@ -1,0 +1,1072 @@
+"""Per-module symbol summaries: the input to the project call graph.
+
+The whole-project pass (rules RPR008-RPR010) cannot work from one file
+at a time: "is ``np.random`` reachable from ``Mapper.map``" is a
+property of the import graph, the class hierarchy, and every call site
+in between.  This module extracts ONE compact, JSON-serializable
+:class:`ModuleSummary` per source file — imports (normalized to absolute
+dotted targets), classes with their bases and methods, and one
+:class:`FunctionSummary` per module-level function or method recording
+its call sites plus the domain facts the graph rules need (module-level
+RNG touches, ``dense_CG``/``dense_AG`` call sites, executor ``submit``
+sites with captured-variable analysis, global/attribute writes).
+
+Summaries are what the incremental cache stores: re-linting a tree with
+an unchanged file replays its summary instead of re-parsing, and the
+call graph is rebuilt from summaries alone (see
+:mod:`repro.analysis.callgraph`), which keeps the warm-cache whole-
+project pass fast while staying bit-identical to a cold run.
+
+Everything here is stdlib-only and intentionally *conservative*: a call
+whose target cannot be resolved syntactically (``getattr`` dispatch,
+callables passed as parameters, attribute calls on arbitrary
+expressions) is recorded with ``kind="unknown"`` so the graph can count
+it in its explicit unknown-callee bucket rather than silently dropping
+it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "CallSite",
+    "RngCall",
+    "DenseCall",
+    "CaptureIssue",
+    "SubmitSite",
+    "FunctionSummary",
+    "ClassSummary",
+    "ModuleSummary",
+    "module_name_for",
+    "summarize_module",
+    "summarize_source",
+]
+
+#: numpy.random attributes belonging to the *new* Generator API (safe to
+#: reference anywhere); everything else on the module is hidden global
+#: state.  Kept in sync with ``rules._NEW_RNG_API`` by a unit test.
+NEW_RNG_API = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: stdlib ``random`` names that do NOT touch the shared module-level
+#: stream (explicit instances the caller seeds and owns).
+_STDLIB_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+#: The densifying MappingProblem methods RPR010 tracks.
+_DENSE_METHODS = frozenset({"dense_CG", "dense_AG"})
+
+#: Executor classes whose ``submit``/``map`` fan work out to threads.
+_EXECUTOR_CLASSES = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "add",
+        "update",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "popleft",
+        "appendleft",
+        "clear",
+        "sort",
+        "setdefault",
+        "discard",
+    }
+)
+
+#: Wall-clock call chains whose value must never seed an RNG.
+_WALL_CLOCK_SUFFIXES: tuple[tuple[str, ...], ...] = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+)
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+# --------------------------------------------------------------------- model
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    ``kind`` is the syntactic shape the resolver dispatches on:
+
+    - ``"name"``      — ``foo(...)``; target ``("foo",)``
+    - ``"dotted"``    — ``a.b.c(...)``; target ``("a", "b", "c")``
+    - ``"self"``      — ``self.m(...)``; target ``("m",)``
+    - ``"cls"``       — ``cls.m(...)``; target ``("m",)``
+    - ``"instance"``  — ``Ctor(...).m(...)``; target is the constructor
+      chain plus the method name
+    - ``"unknown"``   — anything else; target holds a rendered hint
+    """
+
+    kind: str
+    target: tuple[str, ...]
+    line: int
+    col: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": list(self.target),
+            "line": self.line,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "CallSite":
+        return cls(
+            kind=str(d["kind"]),
+            target=tuple(str(t) for t in d["target"]),
+            line=int(d["line"]),
+            col=int(d["col"]),
+        )
+
+
+@dataclass(frozen=True)
+class RngCall:
+    """A module-level-RNG touch (the RPR008 evidence).
+
+    ``kind`` is ``"numpy-legacy"`` (``np.random.seed`` and friends),
+    ``"stdlib-random"`` (``random.random``/``shuffle``/... on the shared
+    module stream) or ``"time-seed"`` (a wall clock flowing into
+    ``default_rng``/``as_rng``/a ``seed=`` argument).
+    """
+
+    kind: str
+    name: str
+    line: int
+    col: int
+    snippet: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "RngCall":
+        return cls(
+            kind=str(d["kind"]),
+            name=str(d["name"]),
+            line=int(d["line"]),
+            col=int(d["col"]),
+            snippet=str(d["snippet"]),
+        )
+
+
+@dataclass(frozen=True)
+class DenseCall:
+    """A ``.dense_CG()``/``.dense_AG()`` call site (the RPR010 evidence)."""
+
+    name: str
+    line: int
+    col: int
+    snippet: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "DenseCall":
+        return cls(
+            name=str(d["name"]),
+            line=int(d["line"]),
+            col=int(d["col"]),
+            snippet=str(d["snippet"]),
+        )
+
+
+@dataclass(frozen=True)
+class CaptureIssue:
+    """One captured variable a submitted closure races on.
+
+    ``reason`` is ``"written-in-worker"`` (the worker mutates state it
+    captured from the enclosing frame) or ``"mutated-outside-worker"``
+    (the worker reads a captured variable the enclosing function keeps
+    mutating).
+    """
+
+    var: str
+    reason: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {"var": self.var, "reason": self.reason}
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "CaptureIssue":
+        return cls(var=str(d["var"]), reason=str(d["reason"]))
+
+
+@dataclass(frozen=True)
+class SubmitSite:
+    """One ``executor.submit``/``executor.map`` call (RPR009 evidence).
+
+    ``worker_kind`` records how the submitted callable was analyzed:
+
+    - ``"closure"`` — nested def or lambda; ``captures`` holds the
+      racy captured variables found by local analysis
+    - ``"self-method"`` — ``self._m`` passed by reference; the graph
+      rule checks the resolved method's writes
+    - ``"function"`` — a bare name; resolved the same way
+    - ``"unknown"`` — a callable the analysis cannot see into (e.g. a
+      parameter); counted, never flagged
+    """
+
+    line: int
+    col: int
+    snippet: str
+    worker: str
+    worker_kind: str
+    worker_ref: tuple[str, ...]
+    captures: tuple[CaptureIssue, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+            "worker": self.worker,
+            "worker_kind": self.worker_kind,
+            "worker_ref": list(self.worker_ref),
+            "captures": [c.to_json() for c in self.captures],
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "SubmitSite":
+        return cls(
+            line=int(d["line"]),
+            col=int(d["col"]),
+            snippet=str(d["snippet"]),
+            worker=str(d["worker"]),
+            worker_kind=str(d["worker_kind"]),
+            worker_ref=tuple(str(t) for t in d["worker_ref"]),
+            captures=tuple(CaptureIssue.from_json(c) for c in d["captures"]),
+        )
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Everything the graph rules need about one function or method."""
+
+    #: In-module qualified name: ``"fn"`` or ``"Class.method"``.
+    qualname: str
+    line: int
+    #: Defining class name when this is a method, else "".
+    cls: str
+    calls: tuple[CallSite, ...]
+    rng_calls: tuple[RngCall, ...]
+    dense_calls: tuple[DenseCall, ...]
+    submit_sites: tuple[SubmitSite, ...]
+    #: Module-level names this function rebinds or mutates.
+    writes_globals: tuple[str, ...]
+    #: ``self.<attr>`` attributes this function rebinds or mutates.
+    writes_self_attrs: tuple[str, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "cls": self.cls,
+            "calls": [c.to_json() for c in self.calls],
+            "rng_calls": [c.to_json() for c in self.rng_calls],
+            "dense_calls": [c.to_json() for c in self.dense_calls],
+            "submit_sites": [s.to_json() for s in self.submit_sites],
+            "writes_globals": list(self.writes_globals),
+            "writes_self_attrs": list(self.writes_self_attrs),
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=str(d["qualname"]),
+            line=int(d["line"]),
+            cls=str(d["cls"]),
+            calls=tuple(CallSite.from_json(c) for c in d["calls"]),
+            rng_calls=tuple(RngCall.from_json(c) for c in d["rng_calls"]),
+            dense_calls=tuple(DenseCall.from_json(c) for c in d["dense_calls"]),
+            submit_sites=tuple(SubmitSite.from_json(s) for s in d["submit_sites"]),
+            writes_globals=tuple(str(w) for w in d["writes_globals"]),
+            writes_self_attrs=tuple(str(w) for w in d["writes_self_attrs"]),
+        )
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """One class: its bases (as written) and the methods it defines."""
+
+    name: str
+    #: Base expressions rendered as dotted strings (``"Mapper"``,
+    #: ``"abc.ABC"``); resolved against imports at graph-build time.
+    bases: tuple[str, ...]
+    methods: tuple[str, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "ClassSummary":
+        return cls(
+            name=str(d["name"]),
+            bases=tuple(str(b) for b in d["bases"]),
+            methods=tuple(str(m) for m in d["methods"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The project-level view of one source file."""
+
+    #: Dotted module name derived from the path (``repro.core.geodist``).
+    module: str
+    relpath: str
+    #: Local name -> absolute dotted import target.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: In-module qualname -> summary, for every function and method.
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    #: Names assigned at module level (shared mutable candidates).
+    module_names: tuple[str, ...] = ()
+    #: 1-based line -> suppressed rule ids (graph rules honor these).
+    suppressions: dict[int, tuple[str, ...]] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "relpath": self.relpath,
+            "imports": dict(sorted(self.imports.items())),
+            "functions": {k: f.to_json() for k, f in sorted(self.functions.items())},
+            "classes": {k: c.to_json() for k, c in sorted(self.classes.items())},
+            "module_names": list(self.module_names),
+            "suppressions": {str(k): list(v) for k, v in sorted(self.suppressions.items())},
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=str(d["module"]),
+            relpath=str(d["relpath"]),
+            imports={str(k): str(v) for k, v in d["imports"].items()},
+            functions={
+                str(k): FunctionSummary.from_json(v) for k, v in d["functions"].items()
+            },
+            classes={str(k): ClassSummary.from_json(v) for k, v in d["classes"].items()},
+            module_names=tuple(str(n) for n in d["module_names"]),
+            suppressions={
+                int(k): tuple(str(i) for i in v) for k, v in d["suppressions"].items()
+            },
+        )
+
+
+# ----------------------------------------------------------------- utilities
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    Anything under a ``src/`` component is package-rooted there
+    (``src/repro/core/geodist.py`` -> ``repro.core.geodist``), other
+    trees use their path as-is (``benchmarks/bench_x.py`` ->
+    ``benchmarks.bench_x``).  ``__init__.py`` names the package itself.
+    The name is therefore independent of where the checkout lives on
+    disk — the property the qualified-name fingerprints rely on.
+    """
+    parts = [p for p in relpath.split("/") if p]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _dotted_parts(node: ast.expr) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``, else None."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return tuple(reversed(parts))
+
+
+def _iter_non_function_children(node: ast.AST) -> Iterator[ast.AST]:
+    """Children of ``node``, not descending into nested function bodies."""
+    for child in ast.iter_child_nodes(node):
+        yield child
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield from _iter_non_function_children(child)
+
+
+def _package_of(module: str, relpath: str) -> str:
+    """The package a module's relative imports resolve against."""
+    if relpath.endswith("__init__.py"):
+        return module
+    return module.rsplit(".", 1)[0] if "." in module else ""
+
+
+# ---------------------------------------------------------------- extraction
+
+
+class _ModuleSummarizer:
+    """Single pass turning one parsed module into a ModuleSummary."""
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        *,
+        module: str,
+        relpath: str,
+        lines: list[str],
+        suppressions: dict[int, frozenset[str]] | None = None,
+    ) -> None:
+        self.tree = tree
+        self.module = module
+        self.relpath = relpath
+        self.lines = lines
+        self.package = _package_of(module, relpath)
+        self.summary = ModuleSummary(module=module, relpath=relpath)
+        if suppressions:
+            self.summary.suppressions = {
+                line: tuple(sorted(ids)) for line, ids in suppressions.items()
+            }
+
+    # ------------------------------------------------------------- plumbing
+
+    def _snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def _absolute(self, parts: tuple[str, ...]) -> tuple[str, ...] | None:
+        """Resolve a dotted chain's head through the import table."""
+        target = self.summary.imports.get(parts[0])
+        if target is None:
+            return None
+        return tuple(target.split(".")) + parts[1:]
+
+    # -------------------------------------------------------------- imports
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.summary.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.summary.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.summary.imports[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    def _import_base(self, node: ast.ImportFrom) -> str | None:
+        """Absolute dotted base of a from-import (None when unresolvable)."""
+        if node.level == 0:
+            return node.module or ""
+        # Relative: climb ``level`` packages from this module's package.
+        parts = self.package.split(".") if self.package else []
+        climb = node.level - 1
+        if climb > len(parts):
+            return None
+        base_parts = parts[: len(parts) - climb]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+    # ------------------------------------------------------------ structure
+
+    def run(self) -> ModuleSummary:
+        self._collect_imports()
+        module_names: list[str] = []
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.summary.functions[node.name] = self._summarize_function(
+                    node, cls=""
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._summarize_class(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                module_names.extend(self._assigned_names(node))
+        self.summary.module_names = tuple(dict.fromkeys(module_names))
+        return self.summary
+
+    def _summarize_class(self, node: ast.ClassDef) -> None:
+        bases: list[str] = []
+        for base in node.bases:
+            parts = _dotted_parts(base)
+            if parts is not None:
+                bases.append(".".join(parts))
+        methods: list[str] = []
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.append(item.name)
+                qual = f"{node.name}.{item.name}"
+                self.summary.functions[qual] = self._summarize_function(
+                    item, cls=node.name
+                )
+        self.summary.classes[node.name] = ClassSummary(
+            name=node.name, bases=tuple(bases), methods=tuple(methods)
+        )
+
+    @staticmethod
+    def _assigned_names(node: ast.AST) -> list[str]:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        out: list[str] = []
+        for t in targets:
+            for sub in ast.walk(t):
+                if isinstance(sub, ast.Name):
+                    out.append(sub.id)
+        return out
+
+    # ------------------------------------------------------------- functions
+
+    def _summarize_function(self, fn: _FunctionNode, *, cls: str) -> FunctionSummary:
+        qual = f"{cls}.{fn.name}" if cls else fn.name
+        locals_ = self._local_bindings(fn)
+        calls: list[CallSite] = []
+        rng_calls: list[RngCall] = []
+        dense_calls: list[DenseCall] = []
+        submit_sites: list[SubmitSite] = []
+        writes_globals: list[str] = []
+        writes_self: list[str] = []
+
+        declared_global: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+
+        executors = self._executor_names(fn)
+        nested = self._nested_functions(fn)
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                calls.append(self._call_site(node))
+                rng = self._rng_call(node)
+                if rng is not None:
+                    rng_calls.append(rng)
+                dense = self._dense_call(node)
+                if dense is not None:
+                    dense_calls.append(dense)
+                submit = self._submit_site(node, fn, executors, nested, locals_)
+                if submit is not None:
+                    submit_sites.append(submit)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._classify_writes(
+                    node, locals_, declared_global, writes_globals, writes_self
+                )
+        # Mutating method calls on module-level names / self attributes.
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in _MUTATORS:
+                    continue
+                recv = node.func.value
+                if isinstance(recv, ast.Name):
+                    if recv.id not in locals_ and self._is_module_name(recv.id):
+                        writes_globals.append(recv.id)
+                elif (
+                    isinstance(recv, ast.Attribute)
+                    and isinstance(recv.value, ast.Name)
+                    and recv.value.id == "self"
+                ):
+                    writes_self.append(recv.attr)
+
+        return FunctionSummary(
+            qualname=qual,
+            line=fn.lineno,
+            cls=cls,
+            calls=tuple(calls),
+            rng_calls=tuple(rng_calls),
+            dense_calls=tuple(dense_calls),
+            submit_sites=tuple(submit_sites),
+            writes_globals=tuple(dict.fromkeys(writes_globals)),
+            writes_self_attrs=tuple(dict.fromkeys(writes_self)),
+        )
+
+    def _is_module_name(self, name: str) -> bool:
+        return (
+            name in self.summary.module_names
+            or name in self.summary.functions
+            or name in self.summary.classes
+        )
+
+    @staticmethod
+    def _local_bindings(fn: _FunctionNode | ast.Lambda) -> set[str]:
+        """Names bound inside ``fn`` (params + assignments, own frame only)."""
+        out: set[str] = set()
+        args = fn.args
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            out.add(a.arg)
+        if isinstance(fn, ast.Lambda):
+            return out
+        for node in _iter_non_function_children(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for t in node.targets:
+                    for sub in ast.walk(t):
+                        if isinstance(sub, ast.Name) and isinstance(
+                            sub.ctx, ast.Store
+                        ):
+                            out.add(sub.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    out.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        out.add(sub.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for sub in ast.walk(item.optional_vars):
+                            if isinstance(sub, ast.Name):
+                                out.add(sub.id)
+            elif isinstance(node, ast.comprehension):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        out.add(sub.id)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                out.add(node.name)
+        return out
+
+    # ------------------------------------------------------------ call sites
+
+    def _call_site(self, call: ast.Call) -> CallSite:
+        func = call.func
+        line, col = call.lineno, call.col_offset
+        if isinstance(func, ast.Name):
+            return CallSite("name", (func.id,), line, col)
+        if isinstance(func, ast.Attribute):
+            parts = _dotted_parts(func)
+            if parts is not None:
+                if parts[0] == "self" and len(parts) == 2:
+                    return CallSite("self", (parts[1],), line, col)
+                if parts[0] == "cls" and len(parts) == 2:
+                    return CallSite("cls", (parts[1],), line, col)
+                return CallSite("dotted", parts, line, col)
+            if isinstance(func.value, ast.Call):
+                inner = _dotted_parts(func.value.func)
+                if inner is not None:
+                    return CallSite("instance", inner + (func.attr,), line, col)
+            return CallSite("unknown", (func.attr,), line, col)
+        return CallSite("unknown", ("<expr>",), line, col)
+
+    # ------------------------------------------------------------ rng facts
+
+    def _rng_call(self, call: ast.Call) -> RngCall | None:
+        parts = _dotted_parts(call.func)
+        rendered = ".".join(parts) if parts else ""
+        absolute = self._absolute(parts) if parts else None
+        if absolute is not None:
+            if (
+                len(absolute) == 3
+                and absolute[:2] == ("numpy", "random")
+                and absolute[2] not in NEW_RNG_API
+            ):
+                return RngCall(
+                    "numpy-legacy",
+                    rendered,
+                    call.lineno,
+                    call.col_offset,
+                    self._snippet(call.lineno),
+                )
+            if (
+                len(absolute) == 2
+                and absolute[0] == "random"
+                and absolute[1] not in _STDLIB_RANDOM_OK
+            ):
+                return RngCall(
+                    "stdlib-random",
+                    rendered,
+                    call.lineno,
+                    call.col_offset,
+                    self._snippet(call.lineno),
+                )
+        clock = self._wall_clock_in_seed(call, absolute)
+        if clock is not None:
+            return RngCall(
+                "time-seed",
+                clock,
+                call.lineno,
+                call.col_offset,
+                self._snippet(call.lineno),
+            )
+        return None
+
+    def _wall_clock_call(self, node: ast.expr) -> str | None:
+        """Rendered name of a wall-clock call inside ``node``, else None."""
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            parts = _dotted_parts(sub.func)
+            if parts is None:
+                continue
+            absolute = self._absolute(parts) or parts
+            for suffix in _WALL_CLOCK_SUFFIXES:
+                if absolute[-len(suffix) :] == suffix:
+                    return ".".join(parts)
+        return None
+
+    def _wall_clock_in_seed(
+        self, call: ast.Call, absolute: tuple[str, ...] | None
+    ) -> str | None:
+        """A wall clock flowing into a seed position of ``call``."""
+        is_rng_factory = False
+        if absolute is not None and absolute[-1] in ("default_rng", "as_rng"):
+            is_rng_factory = True
+        parts = _dotted_parts(call.func)
+        if parts is not None and parts[-1] in ("default_rng", "as_rng"):
+            is_rng_factory = True
+        seed_exprs: list[ast.expr] = []
+        if is_rng_factory:
+            seed_exprs.extend(call.args)
+        seed_exprs.extend(
+            kw.value for kw in call.keywords if kw.arg in ("seed", "random_state")
+        )
+        for expr in seed_exprs:
+            clock = self._wall_clock_call(expr)
+            if clock is not None:
+                return clock
+        return None
+
+    # ---------------------------------------------------------- dense facts
+
+    def _dense_call(self, call: ast.Call) -> DenseCall | None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _DENSE_METHODS:
+            return DenseCall(
+                func.attr,
+                call.lineno,
+                call.col_offset,
+                self._snippet(call.lineno),
+            )
+        return None
+
+    # --------------------------------------------------------- submit sites
+
+    def _executor_names(self, fn: _FunctionNode) -> set[str]:
+        """Local names bound to a ThreadPoolExecutor-like instance."""
+        names: set[str] = set()
+        for node in ast.walk(fn):
+            value: ast.expr | None = None
+            bound: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                bound, value = node.targets[0], node.value
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        if self._is_executor_ctor(item.context_expr):
+                            for sub in ast.walk(item.optional_vars):
+                                if isinstance(sub, ast.Name):
+                                    names.add(sub.id)
+                continue
+            if (
+                bound is not None
+                and value is not None
+                and isinstance(bound, ast.Name)
+                and self._is_executor_ctor(value)
+            ):
+                names.add(bound.id)
+        return names
+
+    @staticmethod
+    def _is_executor_ctor(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        parts = _dotted_parts(expr.func)
+        return parts is not None and parts[-1] in _EXECUTOR_CLASSES
+
+    @staticmethod
+    def _nested_functions(fn: _FunctionNode) -> dict[str, _FunctionNode]:
+        out: dict[str, _FunctionNode] = {}
+        for node in ast.walk(fn):
+            if node is fn:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out[node.name] = node
+        return out
+
+    def _submit_site(
+        self,
+        call: ast.Call,
+        fn: _FunctionNode,
+        executors: set[str],
+        nested: dict[str, _FunctionNode],
+        fn_locals: set[str],
+    ) -> SubmitSite | None:
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("submit", "map")
+            and isinstance(func.value, ast.Name)
+            and func.value.id in executors
+        ):
+            return None
+        snippet = self._snippet(call.lineno)
+        # Find the most informative worker among the arguments: a closure
+        # or lambda beats a method/function reference beats unknown.
+        worker_expr: ast.expr | None = call.args[0] if call.args else None
+        best: tuple[str, tuple[str, ...], _FunctionNode | ast.Lambda | None] = (
+            "unknown",
+            (),
+            None,
+        )
+        for arg in call.args:
+            kind, ref, node = self._classify_worker(arg, nested)
+            if kind == "closure":
+                best = (kind, ref, node)
+                break
+            if kind in ("self-method", "function") and best[0] == "unknown":
+                best = (kind, ref, node)
+        worker_kind, worker_ref, worker_node = best
+        captures: tuple[CaptureIssue, ...] = ()
+        if worker_kind == "closure" and worker_node is not None:
+            captures = tuple(
+                self._capture_issues(worker_node, fn, fn_locals)
+            )
+        rendered = (
+            ast.unparse(worker_expr)[:60] if worker_expr is not None else "<none>"
+        )
+        return SubmitSite(
+            line=call.lineno,
+            col=call.col_offset,
+            snippet=snippet,
+            worker=rendered,
+            worker_kind=worker_kind,
+            worker_ref=worker_ref,
+            captures=captures,
+        )
+
+    def _classify_worker(
+        self, arg: ast.expr, nested: dict[str, _FunctionNode]
+    ) -> tuple[str, tuple[str, ...], _FunctionNode | ast.Lambda | None]:
+        if isinstance(arg, ast.Lambda):
+            return "closure", (), arg
+        if isinstance(arg, ast.Name):
+            if arg.id in nested:
+                return "closure", (), nested[arg.id]
+            return "function", (arg.id,), None
+        if isinstance(arg, ast.Attribute):
+            parts = _dotted_parts(arg)
+            if parts is not None and parts[0] == "self" and len(parts) == 2:
+                return "self-method", (parts[1],), None
+            if parts is not None:
+                return "function", parts, None
+        return "unknown", (), None
+
+    def _capture_issues(
+        self,
+        worker: _FunctionNode | ast.Lambda,
+        fn: _FunctionNode,
+        fn_locals: set[str],
+    ) -> list[CaptureIssue]:
+        """Racy captured variables of a closure/lambda worker.
+
+        A capture is flagged when the worker *mutates* state it captured
+        from the enclosing frame, or reads a captured variable the
+        enclosing function keeps mutating (rebinding more than once,
+        augmenting, subscript-storing, or calling a mutator method).
+        A single initial binding that the worker only reads is the
+        normal fan-out idiom and stays quiet.
+        """
+        bound = self._local_bindings(worker)
+        nonlocal_names: set[str] = set()
+        if not isinstance(worker, ast.Lambda):
+            for node in ast.walk(worker):
+                if isinstance(node, ast.Nonlocal):
+                    nonlocal_names.update(node.names)
+        reads: set[str] = set()
+        worker_mutated: set[str] = set()
+        body: tuple[ast.AST, ...] = (
+            (worker.body,) if isinstance(worker, ast.Lambda) else tuple(worker.body)
+        )
+        for top in body:
+            for node in ast.walk(top):
+                self._scan_var_access(node, bound, nonlocal_names, reads, worker_mutated)
+        captured_reads = {v for v in reads if v in fn_locals and v not in bound}
+        captured_writes = {
+            v for v in worker_mutated if v in fn_locals and (v not in bound or v in nonlocal_names)
+        }
+        outer_mutated = self._outer_mutations(fn, worker, fn_locals)
+        issues = [
+            CaptureIssue(var=v, reason="written-in-worker")
+            for v in sorted(captured_writes)
+        ]
+        issues.extend(
+            CaptureIssue(var=v, reason="mutated-outside-worker")
+            for v in sorted(captured_reads & outer_mutated - captured_writes)
+        )
+        return issues
+
+    @staticmethod
+    def _scan_var_access(
+        node: ast.AST,
+        bound: set[str],
+        nonlocal_names: set[str],
+        reads: set[str],
+        mutated: set[str],
+    ) -> None:
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            reads.add(node.id)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in nonlocal_names:
+                mutated.add(node.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            mutated.add(node.target.id)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                if isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name):
+                    mutated.add(t.value.id)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            recv = node.func.value
+            if node.func.attr in _MUTATORS and isinstance(recv, ast.Name):
+                mutated.add(recv.id)
+
+    def _outer_mutations(
+        self,
+        fn: _FunctionNode,
+        worker: _FunctionNode | ast.Lambda,
+        fn_locals: set[str],
+    ) -> set[str]:
+        """fn-local names the enclosing function mutates outside ``worker``."""
+        assign_counts: dict[str, int] = {}
+        mutated: set[str] = set()
+        worker_nodes = set(id(n) for n in ast.walk(worker))
+        for node in ast.walk(fn):
+            if id(node) in worker_nodes or node is fn:
+                continue
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        assign_counts[t.id] = assign_counts.get(t.id, 0) + 1
+                    elif isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name):
+                        mutated.add(t.value.id)
+            elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                mutated.add(node.target.id)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                if node.func.attr in _MUTATORS and isinstance(recv, ast.Name):
+                    mutated.add(recv.id)
+        mutated.update(n for n, c in assign_counts.items() if c > 1)
+        return mutated & fn_locals
+
+    # -------------------------------------------------------- write classify
+
+    def _classify_writes(
+        self,
+        node: ast.Assign | ast.AnnAssign | ast.AugAssign,
+        locals_: set[str],
+        declared_global: set[str],
+        writes_globals: list[str],
+        writes_self: list[str],
+    ) -> None:
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        else:
+            targets = [node.target]
+        for t in targets:
+            if isinstance(t, ast.Name):
+                if t.id in declared_global:
+                    writes_globals.append(t.id)
+            elif isinstance(t, ast.Attribute):
+                if isinstance(t.value, ast.Name) and t.value.id == "self":
+                    writes_self.append(t.attr)
+            elif isinstance(t, ast.Subscript):
+                base = t.value
+                if isinstance(base, ast.Name):
+                    if base.id in declared_global or (
+                        base.id not in locals_ and self._is_module_name(base.id)
+                    ):
+                        writes_globals.append(base.id)
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                ):
+                    writes_self.append(base.attr)
+            elif isinstance(t, ast.Tuple):
+                for el in t.elts:
+                    if isinstance(el, ast.Name) and el.id in declared_global:
+                        writes_globals.append(el.id)
+
+
+def summarize_module(
+    tree: ast.Module,
+    *,
+    relpath: str,
+    lines: list[str],
+    module: str | None = None,
+    suppressions: dict[int, frozenset[str]] | None = None,
+) -> ModuleSummary:
+    """Summarize one already-parsed module."""
+    name = module if module is not None else module_name_for(relpath)
+    return _ModuleSummarizer(
+        tree,
+        module=name,
+        relpath=relpath,
+        lines=lines,
+        suppressions=suppressions,
+    ).run()
+
+
+def summarize_source(source: str, *, relpath: str) -> ModuleSummary:
+    """Parse and summarize one in-memory source blob (the test helper)."""
+    tree = ast.parse(source, filename=relpath)
+    return summarize_module(tree, relpath=relpath, lines=source.splitlines())

@@ -1,15 +1,17 @@
-"""Text and JSON reporters for lint results."""
+"""Text, JSON, and SARIF reporters for lint results."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import IO
+from typing import IO, Any
 
 from .engine import LintResult
 from .findings import Finding
+from .graph_rules import ALL_PROJECT_RULES
+from .rules import ALL_RULES
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(
@@ -47,6 +49,101 @@ def render_json(
         "errors": dict(sorted(result.errors.items())),
         "findings": [f.to_json() for f in new],
         "baselined": [f.to_json() for f in baselined],
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def _sarif_rules() -> list[dict[str, Any]]:
+    """The full rule catalog as SARIF ``reportingDescriptor`` objects."""
+    catalog: list[dict[str, Any]] = []
+    for cls in [*ALL_RULES, *ALL_PROJECT_RULES]:
+        catalog.append(
+            {
+                "id": cls.id,
+                "name": cls.name,
+                "shortDescription": {"text": cls.name},
+                "fullDescription": {"text": cls.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return catalog
+
+
+def _sarif_result(finding: Finding, *, baselined: bool) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": "note" if baselined else "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    # SARIF columns are 1-based; Finding.col is 0-based.
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+    if finding.qualname:
+        result["properties"] = {"qualname": finding.qualname}
+    if baselined:
+        result["baselineState"] = "unchanged"
+    return result
+
+
+def render_sarif(
+    result: LintResult,
+    new: list[Finding],
+    baselined: list[Finding],
+    stream: IO[str],
+) -> None:
+    """SARIF 2.1.0 report for GitHub code-scanning annotations.
+
+    New findings are ``error``-level results; baselined ones are
+    emitted as ``note`` with ``baselineState: unchanged`` so uploads
+    keep the grandfathered set visible without failing the check.
+    Parse errors become ``toolExecutionNotifications``.
+    """
+    notifications: list[dict[str, Any]] = [
+        {
+            "level": "error",
+            "message": {"text": message},
+            "locations": [
+                {"physicalLocation": {"artifactLocation": {"uri": relpath}}}
+            ],
+        }
+        for relpath, message in sorted(result.errors.items())
+    ]
+    run: dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "semanticVersion": "2.0.0",
+                "rules": _sarif_rules(),
+            }
+        },
+        "results": [
+            *(_sarif_result(f, baselined=False) for f in new),
+            *(_sarif_result(f, baselined=True) for f in baselined),
+        ],
+        "columnKind": "utf16CodeUnits",
+    }
+    if notifications:
+        run["invocations"] = [
+            {
+                "executionSuccessful": False,
+                "toolExecutionNotifications": notifications,
+            }
+        ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [run],
     }
     json.dump(payload, stream, indent=2)
     stream.write("\n")

@@ -57,6 +57,7 @@ QUICK_BENCH_SCRIPTS: tuple[str, ...] = (
     "bench_perf_geodist.py",
     "bench_obs.py",
     "bench_multilevel.py",
+    "bench_lint.py",
 )
 
 #: ``(bench, n, m)`` — stable across machines, unlike hostnames or paths.

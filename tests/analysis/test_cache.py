@@ -1,0 +1,142 @@
+"""Incremental-cache semantics: bit-identity, invalidation, degradation."""
+
+import json
+import textwrap
+
+from repro.analysis.cache import CachedFile, LintCache, file_digest
+from repro.analysis.engine import lint_paths
+from repro.analysis.graph_rules import (
+    ALL_PROJECT_RULES,
+    RPR008UnseededRngReachable,
+)
+from repro.analysis.rules import ALL_RULES
+
+RULE_IDS = [cls.id for cls in ALL_RULES] + [cls.id for cls in ALL_PROJECT_RULES]
+
+ENTRY_SRC = """
+from pkg.helper import solve
+
+class Mapper:
+    def map(self, problem):
+        return solve(problem)
+"""
+
+HELPER_SRC = """
+import numpy as np
+
+def solve(problem):
+    return np.random.rand(4)
+"""
+
+
+def write_tree(root, entry=ENTRY_SRC, helper=HELPER_SRC):
+    pkg = root / "src" / "pkg"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "entry.py").write_text(textwrap.dedent(entry))
+    (pkg / "helper.py").write_text(textwrap.dedent(helper))
+    return root / "src"
+
+
+def run(root, src, cache_path):
+    cache = LintCache(cache_path, RULE_IDS)
+    rule = RPR008UnseededRngReachable(["pkg.entry.Mapper.map"])
+    result = lint_paths(
+        [src], root=root, rules=[], project_rules=[rule], cache=cache
+    )
+    return result
+
+
+def test_warm_run_is_bit_identical_and_hits_cache(tmp_path):
+    src = write_tree(tmp_path)
+    cache_path = tmp_path / ".repro-lint-cache.json"
+    cold = run(tmp_path, src, cache_path)
+    warm = run(tmp_path, src, cache_path)
+    assert cold.cache_hits == 0 and cold.cache_misses == 3
+    assert warm.cache_hits == 3 and warm.cache_misses == 0
+    assert [f.to_json() for f in cold.findings] == [
+        f.to_json() for f in warm.findings
+    ]
+    assert len(cold.findings) == 1 and cold.findings[0].rule_id == "RPR008"
+    assert warm.suppressed == cold.suppressed
+    assert warm.graph_stats == cold.graph_stats
+
+
+def test_graph_pass_recomputes_from_cached_summaries(tmp_path):
+    """Editing only the *caller* must clear a finding in the unchanged
+    callee file — the graph is rebuilt from summaries every run."""
+    src = write_tree(tmp_path)
+    cache_path = tmp_path / ".repro-lint-cache.json"
+    cold = run(tmp_path, src, cache_path)
+    assert len(cold.findings) == 1
+    # Cut the edge: entry no longer calls helper.
+    write_tree(
+        tmp_path,
+        entry="""
+        class Mapper:
+            def map(self, problem):
+                return 0
+        """,
+    )
+    warm = run(tmp_path, src, cache_path)
+    # helper.py and __init__.py replay from cache; only entry.py re-parses.
+    assert warm.cache_hits == 2 and warm.cache_misses == 1
+    assert warm.findings == []
+
+
+def test_content_change_invalidates_only_that_file(tmp_path):
+    src = write_tree(tmp_path)
+    cache_path = tmp_path / ".repro-lint-cache.json"
+    run(tmp_path, src, cache_path)
+    write_tree(tmp_path, helper=HELPER_SRC + "\nX = 1\n")
+    warm = run(tmp_path, src, cache_path)
+    assert warm.cache_misses == 1
+    assert len(warm.findings) == 1  # the finding survives the edit
+
+
+def test_rule_set_change_discards_cache(tmp_path):
+    src = write_tree(tmp_path)
+    cache_path = tmp_path / ".repro-lint-cache.json"
+    run(tmp_path, src, cache_path)
+    other = LintCache(cache_path, ["RPR999"])
+    assert other.get("src/pkg/helper.py", "whatever") is None
+    # Re-running with the original ids still hits.
+    again = run(tmp_path, src, cache_path)
+    assert again.cache_hits == 3
+
+
+def test_corrupt_cache_degrades_to_cold_run(tmp_path):
+    src = write_tree(tmp_path)
+    cache_path = tmp_path / ".repro-lint-cache.json"
+    cache_path.write_text("{not json")
+    result = run(tmp_path, src, cache_path)
+    assert result.cache_misses == 3
+    assert len(result.findings) == 1
+    # And the run rewrote a valid cache.
+    assert json.loads(cache_path.read_text())["files"]
+
+
+def test_prune_drops_files_outside_the_run(tmp_path):
+    cache = LintCache(tmp_path / "c.json", RULE_IDS)
+    cache.put("a.py", CachedFile(digest="d1"))
+    cache.put("b.py", CachedFile(digest="d2"))
+    cache.prune(["a.py"])
+    cache.save()
+    reloaded = LintCache(tmp_path / "c.json", RULE_IDS)
+    assert reloaded.get("a.py", "d1") is not None
+    assert reloaded.get("b.py", "d2") is None
+
+
+def test_cached_findings_round_trip_qualname(tmp_path):
+    src = write_tree(tmp_path)
+    cache_path = tmp_path / ".repro-lint-cache.json"
+    cold = run(tmp_path, src, cache_path)
+    warm = run(tmp_path, src, cache_path)
+    assert cold.findings[0].qualname == "pkg.helper.solve"
+    assert warm.findings[0].qualname == "pkg.helper.solve"
+    assert warm.findings[0].fingerprint == cold.findings[0].fingerprint
+
+
+def test_file_digest_is_content_hash():
+    assert file_digest(b"abc") == file_digest(b"abc")
+    assert file_digest(b"abc") != file_digest(b"abd")

@@ -91,3 +91,97 @@ def test_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
         assert rule_id in out
+
+
+# ------------------------------------------------------------ repro-lint v2
+
+
+def test_sarif_reporter_shape(tree, capsys):
+    assert run(tree, "--format", "sarif") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    [sarif_run] = payload["runs"]
+    assert sarif_run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {r["id"] for r in sarif_run["tool"]["driver"]["rules"]}
+    assert {"RPR001", "RPR008", "RPR009", "RPR010"} <= rule_ids
+    [result] = sarif_run["results"]
+    assert result["ruleId"] == "RPR001"
+    assert result["level"] == "error"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 5
+    assert result["partialFingerprints"]["reproLint/v1"]
+
+
+def test_sarif_marks_baselined_findings(tree, capsys):
+    assert run(tree, "--write-baseline") == 0
+    capsys.readouterr()
+    assert run(tree, "--format", "sarif") == 0
+    payload = json.loads(capsys.readouterr().out)
+    [result] = payload["runs"][0]["results"]
+    assert result["level"] == "note"
+    assert result["baselineState"] == "unchanged"
+
+
+def test_cache_flag_round_trips_bit_identical(tree, capsys):
+    cache_file = tree / "cache.json"
+    assert run(tree, "--format", "json", "--cache", str(cache_file)) == 1
+    cold = json.loads(capsys.readouterr().out)
+    assert cache_file.is_file()
+    assert run(tree, "--format", "json", "--cache", str(cache_file)) == 1
+    warm = json.loads(capsys.readouterr().out)
+    assert cold == warm
+
+
+def test_stats_line_reports_graph_and_cache(tree, capsys):
+    cache_file = tree / "cache.json"
+    assert run(tree, "--stats", "--cache", str(cache_file)) == 1
+    err = capsys.readouterr().err
+    assert "graph[" in err and "cache[hits=0, misses=2]" in err
+
+
+def test_select_graph_rule_only(tree):
+    # Selecting only a graph rule disables RPR001, so the tree is clean.
+    assert run(tree, "--select", "RPR008") == 0
+
+
+def test_no_project_skips_graph_pass(tree, capsys):
+    assert run(tree, "--no-project", "--stats") == 1
+    assert "graph[skipped]" in capsys.readouterr().err
+
+
+def test_changed_only_lints_only_git_changed_files(tree, capsys, monkeypatch):
+    import subprocess
+
+    monkeypatch.chdir(tree)
+    env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+           "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"}
+    for k, v in env.items():
+        monkeypatch.setenv(k, v)
+    subprocess.run(["git", "init", "-q"], check=True)
+    subprocess.run(["git", "add", "-A"], check=True)
+    subprocess.run(["git", "commit", "-qm", "seed"], check=True)
+
+    # Nothing changed: exits 0 without scanning anything.
+    assert main(["src", "--changed-only", "--no-baseline"]) == 0
+    assert "no changed .py files" in capsys.readouterr().out
+
+    # Teaching clean.py a violation makes it the only file linted.
+    (tree / "src" / "repro" / "clean.py").write_text(BAD_SRC)
+    assert main(["src", "--changed-only", "--no-baseline", "--stats"]) == 1
+    captured = capsys.readouterr()
+    assert "1 files" in captured.out
+    assert "graph[skipped]" in captured.err  # changed-only skips the graph
+
+
+def test_changed_only_outside_git_exits_2(tree, capsys, monkeypatch):
+    monkeypatch.chdir(tree)
+    monkeypatch.setenv("GIT_DIR", str(tree / "definitely-missing"))
+    assert main(["src", "--changed-only", "--no-baseline"]) == 2
+    assert "--changed-only needs git" in capsys.readouterr().out
+
+
+def test_list_rules_includes_graph_families(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR008", "RPR009", "RPR010"):
+        assert rule_id in out
