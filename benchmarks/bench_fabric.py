@@ -1,0 +1,132 @@
+"""Perf bench: the process-isolated sweep fabric vs the in-process runner.
+
+Runs the same 32-task demo grid two ways and records both wall-clocks in
+``BENCH_perf.json``:
+
+* ``fabric_sweep``   — :class:`repro.exp.fabric.SweepFabric`, 4 worker
+  processes, spec/shard files, full supervision machinery;
+* ``resilient_sweep`` — :class:`repro.exp.ResilientRunner`, sequential
+  in-process thunks (the pre-fabric baseline).
+
+The point is honesty about the fabric's overhead budget: process
+spawning, JSON control messages, and atomic shard writes cost real
+milliseconds, bought back with crash isolation and (for non-trivial
+tasks) 4-way parallelism.  Payloads are cross-checked for equality
+before any timing is recorded.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit, update_bench_json  # noqa: E402
+
+from repro.exp import ResilientRunner  # noqa: E402
+from repro.exp.fabric import (  # noqa: E402
+    FabricConfig,
+    SweepFabric,
+    demo_specs,
+    get_task,
+    merge_shards,
+    write_sweep,
+)
+
+NUM_TASKS = 32
+WORKERS = 4
+
+
+def bench_fabric(work: int) -> tuple[float, dict[str, str]]:
+    """One full fabric sweep (spawn to merged table); returns digests."""
+    specs = demo_specs(NUM_TASKS, work=work)
+    with tempfile.TemporaryDirectory(prefix="bench-fabric-") as tmp:
+        t0 = time.perf_counter()
+        write_sweep(tmp, specs)
+        report = SweepFabric(
+            tmp, config=FabricConfig(workers=WORKERS, timeout_s=120.0)
+        ).run()
+        merged = merge_shards(tmp, write=False)
+        elapsed = time.perf_counter() - t0
+        if not report.ok or not merged.complete:
+            raise RuntimeError(f"fabric bench sweep failed: {report.summary()}")
+        digests = {r["key"]: r["result"]["digest"] for r in merged.rows}
+    return elapsed, digests
+
+
+def bench_resilient(work: int) -> tuple[float, dict[str, str]]:
+    """The same grid through the in-process runner, sequentially."""
+    specs = demo_specs(NUM_TASKS, work=work)
+    demo = get_task("demo")
+    thunks = {
+        s.key: (lambda params=s.params: demo(dict(params))) for s in specs
+    }
+    t0 = time.perf_counter()
+    runner = ResilientRunner(timeout_s=120.0, max_retries=0)
+    outcomes = runner.run(thunks)
+    elapsed = time.perf_counter() - t0
+    bad = [k for k, o in outcomes.items() if not o.ok]
+    if bad:
+        raise RuntimeError(f"resilient bench failed: {bad}")
+    digests = {k: o.result["digest"] for k, o in outcomes.items()}
+    return elapsed, digests
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: lighter per-task work"
+    )
+    args = parser.parse_args(argv)
+
+    work = 64 if args.quick else 4096
+    t_fabric, d_fabric = bench_fabric(work)
+    t_resilient, d_resilient = bench_resilient(work)
+    if d_fabric != d_resilient:
+        raise RuntimeError(
+            "fabric and resilient payloads diverged — the two paths no "
+            "longer run the same tasks"
+        )
+
+    records = [
+        {
+            "bench": "fabric_sweep",
+            "n": NUM_TASKS,
+            "m": WORKERS,
+            "seconds": t_fabric,
+            "cost": float(len(d_fabric)),
+        },
+        {
+            "bench": "resilient_sweep",
+            "n": NUM_TASKS,
+            "m": 1,
+            "seconds": t_resilient,
+            "cost": float(len(d_resilient)),
+        },
+    ]
+    lines = [
+        "bench                 n      m    seconds",
+        *(
+            f"{r['bench']:<20} {r['n']:>5} {r['m']:>6} {r['seconds']:>10.6f}"
+            for r in records
+        ),
+        f"fabric/resilient ratio: {t_fabric / t_resilient:.2f}x "
+        f"({NUM_TASKS} tasks, {WORKERS} workers vs sequential in-process)",
+    ]
+    path = update_bench_json(records)
+    emit("bench_fabric", "\n".join(lines))
+    print(f"[BENCH_perf.json updated at {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,11 @@ Commands
 ``bench-check``
     Re-run the quick benches and grade them against the checked-in
     ``BENCH_perf.json`` baseline (warn past +25%, fail past 2x).
+``sweep``
+    Run a scenario grid through the process-isolated sweep fabric:
+    supervised worker processes, per-task deadlines, crash isolation,
+    quarantine, resume from atomic result shards, and deterministic
+    chaos injection (see :mod:`repro.exp.fabric`).
 
 ``map``, ``compare``, and ``robustness`` accept ``--trace out.json``:
 the whole command runs under a span recorder and the trace forest is
@@ -54,6 +59,8 @@ Examples
     python -m repro trace-diff before.json after.json --fail-on-regression 25
     python -m repro trace-export trace.json --chrome -o trace.chrome.json
     python -m repro bench-check --quick
+    python -m repro sweep --sweep-dir sweep/ --grid demo --tasks 64 \
+        --workers 4 --chaos "seed=7,kill=0.15,hang=0.05" --resume
 """
 
 from __future__ import annotations
@@ -301,6 +308,117 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="hard-fail past this current/baseline ratio (default: 2.0)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a sweep through the process-isolated fabric",
+        description=(
+            "Files-in/files-out sweep under worker-process supervision: "
+            "per-task deadlines, crash isolation, retry/backoff, "
+            "quarantine, heartbeat liveness, and atomic result shards. "
+            "A sweep directory without a manifest is initialized from "
+            "--grid first; an existing one is simply (re)run."
+        ),
+    )
+    p_sweep.add_argument(
+        "--sweep-dir", required=True, help="the sweep directory (created on demand)"
+    )
+    p_sweep.add_argument(
+        "--grid",
+        default=None,
+        choices=["demo", "fig7", "robustness"],
+        help="spec generator used to initialize an empty sweep dir",
+    )
+    p_sweep.add_argument(
+        "--tasks", type=int, default=64, help="demo grid: number of tasks"
+    )
+    p_sweep.add_argument("--app", default="LU", choices=list(PAPER_APPS))
+    p_sweep.add_argument(
+        "--scales",
+        type=int,
+        nargs="+",
+        default=[64, 128, 256],
+        help="fig7 grid: process counts",
+    )
+    p_sweep.add_argument(
+        "--processes", type=int, default=32, help="robustness grid: process count"
+    )
+    p_sweep.add_argument("--sites", type=int, default=4)
+    p_sweep.add_argument("--slack", type=float, default=2.0)
+    p_sweep.add_argument(
+        "--mappers",
+        nargs="+",
+        default=["greedy", "geo-distributed"],
+        help="mapper registry names for fig7/robustness grids",
+    )
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default: 2)"
+    )
+    p_sweep.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="per-task wall-clock budget; a task past it gets its worker killed",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=2, help="retries per failed task"
+    )
+    p_sweep.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        help="consecutive worker deaths before a task is quarantined",
+    )
+    p_sweep.add_argument(
+        "--heartbeat-timeout-s",
+        type=float,
+        default=10.0,
+        help="kill a worker whose heartbeat file stalls this long",
+    )
+    p_sweep.add_argument(
+        "--degrade-after-timeouts",
+        type=int,
+        default=None,
+        help="after this many timeouts, retry with the spec's degraded params",
+    )
+    p_sweep.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection, e.g. "
+            "'seed=7,kill=0.15,kill-mid-write=0.05,hang=0.05,delay=0.1'"
+        ),
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="adopt finished shards; re-run failed/missing ones",
+    )
+    p_sweep.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="run only the first K manifest keys (smoke tests)",
+    )
+    p_sweep.add_argument(
+        "--merge-only",
+        action="store_true",
+        help="skip execution; just merge existing shards",
+    )
+    p_sweep.add_argument(
+        "--verify-against",
+        default=None,
+        metavar="DIR",
+        help="another sweep dir whose merged payload this one must match",
+    )
+    p_sweep.add_argument(
+        "--stitch-trace",
+        default=None,
+        metavar="OUT",
+        help="concatenate per-worker span files into one trace JSON",
     )
     return parser
 
@@ -628,6 +746,112 @@ def _cmd_bench_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_sweep(args) -> int:
+    from .exp.fabric import (
+        ChaosConfig,
+        FabricConfig,
+        FabricError,
+        SweepFabric,
+        demo_specs,
+        fig7_specs,
+        load_manifest,
+        merge_shards,
+        results_equivalent,
+        robustness_specs,
+        stitch_worker_traces,
+        write_sweep,
+    )
+
+    try:
+        try:
+            keys = load_manifest(args.sweep_dir)
+        except FabricError:
+            if args.grid is None:
+                print(
+                    "error: sweep dir has no manifest; pass --grid to "
+                    "initialize it (demo | fig7 | robustness)",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.grid == "demo":
+                specs = demo_specs(args.tasks, seed=args.seed)
+            elif args.grid == "fig7":
+                specs = fig7_specs(
+                    app=args.app,
+                    scales=args.scales,
+                    mappers=args.mappers,
+                    seeds=(args.seed,),
+                    sites=args.sites,
+                )
+            else:
+                specs = robustness_specs(
+                    app=args.app,
+                    processes=args.processes,
+                    sites=args.sites,
+                    slack=args.slack,
+                    mappers=args.mappers,
+                    seed=args.seed,
+                )
+            write_sweep(args.sweep_dir, specs)
+            keys = [s.key for s in specs]
+            print(f"initialized sweep: {len(keys)} specs ({args.grid} grid)")
+
+        if not args.merge_only:
+            chaos = ChaosConfig.parse(args.chaos) if args.chaos else None
+            config = FabricConfig(
+                workers=args.workers,
+                timeout_s=args.timeout_s,
+                max_retries=args.retries,
+                quarantine_after=args.quarantine_after,
+                heartbeat_timeout_s=args.heartbeat_timeout_s,
+                degrade_after_timeouts=args.degrade_after_timeouts,
+                chaos=chaos,
+            )
+            selected = keys[: args.limit] if args.limit is not None else None
+            fabric = SweepFabric(args.sweep_dir, config=config)
+            report = fabric.run(resume=args.resume, keys=selected)
+            print(report.summary())
+            print(f"ok={report.count('ok')}")
+
+        merged = merge_shards(
+            args.sweep_dir,
+            strict=args.limit is None and not args.merge_only,
+            write=args.limit is None,
+        )
+        print(merged.summary())
+    except (FabricError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.stitch_trace:
+        doc = stitch_worker_traces(args.sweep_dir, out=args.stitch_trace)
+        print(
+            f"stitched {len(doc['spans'])} spans from "
+            f"{len(doc['sources'])} worker trace files to {args.stitch_trace}"
+        )
+
+    code = 0
+    bad = [r for r in merged.rows if r["status"] != "ok"]
+    # With --limit, keys past the limit are legitimately missing.
+    incomplete = (
+        (merged.missing or merged.corrupt) if args.limit is None else merged.corrupt
+    )
+    if bad or incomplete:
+        code = 1
+    if args.verify_against:
+        other = merge_shards(args.verify_against, strict=True, write=False)
+        if results_equivalent(merged.rows, other.rows):
+            print("verified: payload-identical")
+        else:
+            from .exp.fabric import diff_results
+
+            print("verify FAILED: payloads differ", file=sys.stderr)
+            for line in diff_results(merged.rows, other.rows)[:10]:
+                print(f"  {line}", file=sys.stderr)
+            code = 1
+    return code
+
+
 _COMMANDS = {
     "regions": _cmd_regions,
     "calibrate": _cmd_calibrate,
@@ -639,6 +863,7 @@ _COMMANDS = {
     "trace-diff": _cmd_trace_diff,
     "trace-export": _cmd_trace_export,
     "bench-check": _cmd_bench_check,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -1,8 +1,14 @@
 """Experiment harness: canonical scenarios, the profile->map->simulate
-runner, improvement statistics, and report formatting.
+runner, improvement statistics, report formatting, and the
+process-isolated sweep fabric (:mod:`repro.exp.fabric`).
 """
 
-from .checkpoint import CheckpointStore
+from .checkpoint import (
+    CheckpointLockError,
+    CheckpointStore,
+    PathLock,
+    fsync_dir,
+)
 from .heatmap import ascii_heatmap
 from .improvement import Summary, baseline_reference, improvement_pct, summarize
 from .report import format_matrix_summary, format_series, format_table
@@ -14,6 +20,7 @@ from .robustness import (
 )
 from .sweeps import METRICS, SweepResult, sweep_improvements
 from .runner import (
+    AbandonedThreadLimitError,
     ResilientRunner,
     RunResult,
     ScenarioOutcome,
@@ -31,8 +38,37 @@ from .scenarios import (
     scale_scenario,
 )
 
+# The fabric imports exp siblings (checkpoint, runner, scenarios,
+# robustness), so it must come after them to avoid import cycles.
+from . import fabric
+from .fabric import (
+    ChaosConfig,
+    ChaosInjector,
+    FabricConfig,
+    FabricError,
+    FabricReport,
+    SweepFabric,
+    TaskSpec,
+    merge_shards,
+    write_sweep,
+)
+
 __all__ = [
     "CheckpointStore",
+    "CheckpointLockError",
+    "PathLock",
+    "fsync_dir",
+    "AbandonedThreadLimitError",
+    "fabric",
+    "ChaosConfig",
+    "ChaosInjector",
+    "FabricConfig",
+    "FabricError",
+    "FabricReport",
+    "SweepFabric",
+    "TaskSpec",
+    "merge_shards",
+    "write_sweep",
     "ResilientRunner",
     "ScenarioOutcome",
     "RobustnessCell",

@@ -13,6 +13,18 @@ mid-write on a filesystem without atomic rename, or someone edited it)
 is treated as empty rather than fatal — the sweep re-runs and rewrites
 it.  Write-side atomicity makes that case rare; read-side tolerance
 makes it harmless.
+
+Durability and exclusivity hardening:
+
+* every atomic rewrite fsyncs the temp file *and* the containing
+  directory, so the rename itself survives a power cut, not just the
+  bytes (:func:`fsync_dir`);
+* a :class:`PathLock` — an ``O_EXCL`` pid lockfile with stale-holder
+  stealing — is acquired on the first write, so two concurrent sweeps
+  pointed at the same checkpoint path fail fast with
+  :class:`CheckpointLockError` instead of silently interleaving rows.
+  The same primitive guards fabric sweep directories
+  (:mod:`repro.exp.fabric`).
 """
 
 from __future__ import annotations
@@ -23,10 +35,136 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
-__all__ = ["CheckpointStore"]
+__all__ = [
+    "CheckpointStore",
+    "CheckpointLockError",
+    "PathLock",
+    "fsync_dir",
+]
 
 #: Schema marker written into every checkpoint file.
 _FORMAT = "repro-checkpoint-v1"
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed entry survives a crash.
+
+    ``os.replace`` makes the *content* swap atomic, but the new directory
+    entry only becomes durable once the directory itself is synced.
+    Best-effort: filesystems that cannot fsync directories are ignored.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # EPERM and friends: the process exists but is not ours.
+        return True
+    return True
+
+
+class CheckpointLockError(RuntimeError):
+    """Another live process holds the lock for this path."""
+
+
+class PathLock:
+    """An exclusive advisory pid lockfile around a shared file or directory.
+
+    Acquisition creates ``path`` with ``O_CREAT | O_EXCL`` and writes the
+    holder's pid.  A lockfile whose recorded pid is dead (the holder
+    crashed without releasing) is *stolen*; a lockfile held by the
+    current process is treated as already acquired (re-entrant within a
+    process, so e.g. a sweep and its checkpoint inspector can coexist);
+    a lockfile held by a different live process raises
+    :class:`CheckpointLockError` immediately — fail fast beats silently
+    interleaved writes.
+
+    The lock is advisory: nothing stops a writer that never acquires it.
+    Every writer in this repo (CheckpointStore, the sweep fabric) does.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._owned = False
+
+    @property
+    def held(self) -> bool:
+        """True when *this object* created the lockfile."""
+        return self._owned
+
+    def _holder_pid(self) -> int | None:
+        try:
+            return int(self.path.read_text().strip() or "0")
+        except (OSError, ValueError):
+            return None
+
+    def acquire(self) -> "PathLock":
+        if self._owned:
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for _ in range(3):  # retries cover one stale-steal race
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                holder = self._holder_pid()
+                if holder is not None and holder == os.getpid():
+                    # Same process already holds it (another store/fabric
+                    # object); do not claim ownership, so releasing one
+                    # does not yank the lock out from under the other.
+                    return self
+                if holder is None or not _pid_alive(holder):
+                    try:
+                        self.path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                raise CheckpointLockError(
+                    f"{self.path} is locked by live process {holder}; "
+                    "two concurrent sweeps may not share a checkpoint or "
+                    "sweep directory — pick a distinct path or wait for "
+                    "the other run to finish"
+                )
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+                fh.flush()
+                os.fsync(fh.fileno())
+            fsync_dir(self.path.parent)
+            self._owned = True
+            return self
+        raise CheckpointLockError(
+            f"could not acquire {self.path}: lockfile kept reappearing"
+        )
+
+    def release(self) -> None:
+        if not self._owned:
+            return
+        self._owned = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "PathLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
 
 
 class CheckpointStore:
@@ -37,10 +175,21 @@ class CheckpointStore:
     path:
         The checkpoint file.  Parent directories are created on the
         first write.  The file holds ``{"format": ..., "rows": {...}}``.
+    lock:
+        With the default ``True``, the first :meth:`record` acquires an
+        exclusive :class:`PathLock` (``<path>.lock``) held until
+        :meth:`close`, so a second *process* writing the same checkpoint
+        fails fast with :class:`CheckpointLockError`.  Reads never need
+        the lock.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, lock: bool = True) -> None:
         self.path = Path(path)
+        self._lock: PathLock | None = (
+            PathLock(self.path.with_name(self.path.name + ".lock"))
+            if lock
+            else None
+        )
         self._rows: dict[str, dict[str, Any]] = self._read()
 
     # ---------------------------------------------------------------- reads
@@ -105,6 +254,8 @@ class CheckpointStore:
             {"format": _FORMAT, "rows": pending}, indent=2, sort_keys=True
         )
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._lock is not None:
+            self._lock.acquire()
         fd, tmp = tempfile.mkstemp(
             dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
         )
@@ -120,6 +271,7 @@ class CheckpointStore:
             except OSError:
                 pass
             raise
+        fsync_dir(self.path.parent)
         self._rows = pending
 
     def clear(self) -> None:
@@ -128,4 +280,23 @@ class CheckpointStore:
         try:
             self.path.unlink()
         except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release the write lock (if this store acquired it)."""
+        if self._lock is not None:
+            self._lock.release()
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort: crashes leave a stale,
+        try:  # steal-able lockfile rather than a deadlock
+            self.close()
+        except Exception:
             pass

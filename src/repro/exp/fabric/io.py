@@ -1,0 +1,107 @@
+"""Crash-proof JSON file IO for the sweep fabric.
+
+Every file the fabric writes — spec, shard, manifest, merged result —
+goes through :func:`atomic_write_json`: serialize fully in memory, write
+to a temp file in the destination directory, fsync it, ``os.replace``
+onto the target, fsync the directory.  A SIGKILL at *any* point leaves
+either the old file or the new one, never a truncated hybrid; the only
+possible litter is an orphaned ``*.tmp`` file, which
+:func:`sweep_stale_tmp` clears on the next run.
+
+The ``before_replace`` hook exists for the chaos harness: it runs after
+the temp file is durable but before the rename, which is exactly where a
+worker must die to prove the "SIGKILL mid-write never corrupts a shard"
+contract (``tests/exp/fabric/test_durability.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable
+
+from ..checkpoint import fsync_dir
+
+__all__ = ["atomic_write_json", "read_json", "sweep_stale_tmp"]
+
+#: Suffix shared by every in-flight temp file the fabric creates.
+TMP_SUFFIX = ".tmp"
+
+
+def atomic_write_json(
+    path: str | Path,
+    obj: Any,
+    *,
+    before_replace: Callable[[], None] | None = None,
+) -> Path:
+    """Atomically (and durably) write ``obj`` as JSON to ``path``.
+
+    Serialization happens before any byte hits disk, so an
+    unserializable object cannot damage an existing file.  With
+    ``before_replace`` given, the callback runs between the temp-file
+    fsync and the rename — the chaos injection point.
+    """
+    path = Path(path)
+    payload = json.dumps(obj, indent=2, sort_keys=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=TMP_SUFFIX
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if before_replace is not None:
+            before_replace()
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+    return path
+
+
+def read_json(path: str | Path) -> Any | None:
+    """Parse ``path`` as JSON; ``None`` for missing/unreadable/corrupt.
+
+    The fabric's read-side tolerance mirrors
+    :class:`~repro.exp.checkpoint.CheckpointStore`: a shard that cannot
+    be parsed is treated as never written, so the task simply re-runs.
+    """
+    try:
+        raw = Path(path).read_text()
+    except OSError:
+        return None
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+
+
+def sweep_stale_tmp(directory: str | Path) -> int:
+    """Delete orphaned ``*.tmp`` files left by killed writers.
+
+    Returns how many were removed.  Safe against concurrent writers only
+    when called under the sweep lock (the supervisor does this once at
+    startup, before any worker exists).
+    """
+    directory = Path(directory)
+    removed = 0
+    try:
+        entries = list(directory.iterdir())
+    except OSError:
+        return 0
+    for entry in entries:
+        if entry.name.endswith(TMP_SUFFIX):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

@@ -1,0 +1,292 @@
+"""Sweep directory layout: specs in, shards out, one file per scenario.
+
+A sweep lives entirely inside one directory::
+
+    sweep/
+      manifest.json        ordered task keys + format marker (written once)
+      specs/<key>.json     one TaskSpec per scenario            (input)
+      shards/<key>.json    one result shard per scenario        (output)
+      hb/<slot>.hb         worker heartbeat files
+      traces/<worker>.trace.json   per-worker span files
+      logs/<worker>.log    worker stderr
+      result.json          merged, input-ordered result table
+      sweep.lock           exclusive PathLock while a supervisor runs
+
+Every scenario is a 1:1 map from its spec file to its shard file; the
+supervisor never holds results in memory that are not also on disk, so a
+killed sweep resumes from the shards alone.  Keys may contain any
+characters (``outage/Greedy`` is a fine key); filenames are the
+percent-quoted key, and the key is also stored *inside* each file so a
+renamed file can never masquerade as a different scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+from urllib.parse import quote
+
+from .io import atomic_write_json, read_json
+
+__all__ = [
+    "SPEC_FORMAT",
+    "MANIFEST_FORMAT",
+    "SHARD_FORMAT",
+    "RESULT_FORMAT",
+    "SHARD_STATUSES",
+    "FabricError",
+    "TaskSpec",
+    "SweepLayout",
+    "write_sweep",
+    "load_manifest",
+    "load_spec",
+    "load_shard",
+    "write_shard",
+]
+
+SPEC_FORMAT = "repro-fabric-spec-v1"
+MANIFEST_FORMAT = "repro-fabric-manifest-v1"
+SHARD_FORMAT = "repro-fabric-shard-v1"
+RESULT_FORMAT = "repro-fabric-result-v1"
+
+#: Terminal states a shard may record.  ``ok`` is the only one a resumed
+#: sweep will not retry.
+SHARD_STATUSES = ("ok", "failed", "timeout", "quarantined")
+
+
+class FabricError(RuntimeError):
+    """A sweep-level configuration or state error (not a task failure)."""
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One scenario: a registered task kind plus its JSON parameters.
+
+    ``degraded_params`` is the graceful-degradation override: when the
+    supervisor decides a task should retry degraded (repeated timeouts),
+    the worker runs the task with ``params | degraded_params`` and the
+    shard is tagged ``degraded: true``.
+    """
+
+    key: str
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    degraded_params: Mapping[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("task key must be non-empty")
+        if not self.kind:
+            raise ValueError(f"task {self.key!r} needs a kind")
+        object.__setattr__(self, "params", dict(self.params))
+        if self.degraded_params is not None:
+            object.__setattr__(
+                self, "degraded_params", dict(self.degraded_params)
+            )
+
+    def effective_params(self, *, degraded: bool = False) -> dict[str, Any]:
+        """The params the task function actually receives."""
+        merged = dict(self.params)
+        if degraded and self.degraded_params:
+            merged.update(self.degraded_params)
+        return merged
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": SPEC_FORMAT,
+            "key": self.key,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "degraded_params": (
+                dict(self.degraded_params)
+                if self.degraded_params is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskSpec":
+        if data.get("format") != SPEC_FORMAT:
+            raise ValueError(
+                f"not a {SPEC_FORMAT} document (format={data.get('format')!r})"
+            )
+        return cls(
+            key=str(data["key"]),
+            kind=str(data["kind"]),
+            params=dict(data.get("params") or {}),
+            degraded_params=(
+                dict(data["degraded_params"])
+                if data.get("degraded_params")
+                else None
+            ),
+        )
+
+
+def _key_filename(key: str) -> str:
+    """Filesystem-safe, collision-free filename for a task key."""
+    return quote(key, safe="") + ".json"
+
+
+class SweepLayout:
+    """Path arithmetic for one sweep directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    @property
+    def specs_dir(self) -> Path:
+        return self.root / "specs"
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.root / "shards"
+
+    @property
+    def hb_dir(self) -> Path:
+        return self.root / "hb"
+
+    @property
+    def traces_dir(self) -> Path:
+        return self.root / "traces"
+
+    @property
+    def logs_dir(self) -> Path:
+        return self.root / "logs"
+
+    @property
+    def result_path(self) -> Path:
+        return self.root / "result.json"
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / "sweep.lock"
+
+    def spec_path(self, key: str) -> Path:
+        return self.specs_dir / _key_filename(key)
+
+    def shard_path(self, key: str) -> Path:
+        return self.shards_dir / _key_filename(key)
+
+
+def write_sweep(
+    root: str | Path,
+    specs: Sequence[TaskSpec],
+    *,
+    overwrite: bool = False,
+) -> SweepLayout:
+    """Materialize a sweep: one spec file per task, then the manifest.
+
+    The manifest is written *last*, so a half-written sweep (killed
+    mid-generation) has no manifest and reads as "not initialized"
+    rather than as a truncated task list.  Duplicate keys are rejected —
+    the 1:1 spec->shard contract needs unique keys.
+    """
+    layout = SweepLayout(root)
+    keys = [s.key for s in specs]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        raise FabricError(f"duplicate task keys in sweep: {dupes}")
+    if not specs:
+        raise FabricError("a sweep needs at least one task spec")
+    if layout.manifest_path.exists() and not overwrite:
+        raise FabricError(
+            f"{layout.manifest_path} already exists; pass overwrite=True "
+            "or use a fresh sweep directory"
+        )
+    layout.specs_dir.mkdir(parents=True, exist_ok=True)
+    for spec in specs:
+        atomic_write_json(layout.spec_path(spec.key), spec.to_dict())
+    atomic_write_json(
+        layout.manifest_path, {"format": MANIFEST_FORMAT, "keys": keys}
+    )
+    return layout
+
+
+def load_manifest(root: str | Path) -> list[str]:
+    """The sweep's ordered task keys; raises FabricError when absent."""
+    layout = SweepLayout(root)
+    data = read_json(layout.manifest_path)
+    if not isinstance(data, dict) or data.get("format") != MANIFEST_FORMAT:
+        raise FabricError(
+            f"{layout.manifest_path} is missing or not a "
+            f"{MANIFEST_FORMAT} document — initialize the sweep first"
+        )
+    keys = data.get("keys")
+    if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
+        raise FabricError(f"{layout.manifest_path} has a malformed key list")
+    return list(keys)
+
+
+def load_spec(root: str | Path, key: str) -> TaskSpec:
+    layout = SweepLayout(root)
+    data = read_json(layout.spec_path(key))
+    if data is None:
+        raise FabricError(f"spec file for task {key!r} is missing or corrupt")
+    spec = TaskSpec.from_dict(data)
+    if spec.key != key:
+        raise FabricError(
+            f"spec file {layout.spec_path(key)} claims key {spec.key!r}"
+        )
+    return spec
+
+
+def load_shard(root: str | Path, key: str) -> dict[str, Any] | None:
+    """The task's result shard, or ``None`` when absent or invalid.
+
+    Invalid covers corrupt JSON, a wrong format marker, an unknown
+    status, and a key mismatch — all read as "this task has no result
+    yet", which is what makes resume self-healing.
+    """
+    data = read_json(SweepLayout(root).shard_path(key))
+    if not isinstance(data, dict):
+        return None
+    if data.get("format") != SHARD_FORMAT or data.get("key") != key:
+        return None
+    if data.get("status") not in SHARD_STATUSES:
+        return None
+    return data
+
+
+def write_shard(
+    root: str | Path,
+    key: str,
+    *,
+    status: str,
+    result: Mapping[str, Any] | None,
+    error: str | None,
+    attempts: int,
+    elapsed_s: float,
+    worker: str,
+    degraded: bool = False,
+    before_replace: Any = None,
+) -> Path:
+    """Atomically write one result shard (the only shard writer)."""
+    if status not in SHARD_STATUSES:
+        raise ValueError(f"status must be one of {SHARD_STATUSES}, got {status!r}")
+    row = {
+        "format": SHARD_FORMAT,
+        "key": key,
+        "status": status,
+        "result": dict(result) if result is not None else None,
+        "error": error,
+        "attempts": int(attempts),
+        "elapsed_s": float(elapsed_s),
+        "worker": worker,
+        "degraded": bool(degraded),
+    }
+    return atomic_write_json(
+        SweepLayout(root).shard_path(key), row, before_replace=before_replace
+    )
+
+
+def iter_shards(
+    root: str | Path, keys: Iterable[str]
+) -> Iterable[tuple[str, dict[str, Any] | None]]:
+    """(key, shard-or-None) pairs in the given key order."""
+    for key in keys:
+        yield key, load_shard(root, key)

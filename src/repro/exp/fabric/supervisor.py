@@ -1,0 +1,848 @@
+"""The sweep fabric supervisor: shared-nothing fan-out with teeth.
+
+Where :class:`~repro.exp.runner.ResilientRunner` can only *abandon* a
+hung thread (the thread keeps its CPU and its memory forever), the
+fabric owns real OS processes and therefore a real robustness loop:
+
+* **deadlines that kill** — a task past its wall-clock budget gets its
+  worker SIGKILLed and the CPU actually comes back;
+* **crash isolation** — a segfaulting or OOM-killed worker fails one
+  attempt of one task, never the sweep;
+* **bounded deterministic backoff** — attempt ``k`` waits
+  ``backoff_base_s * backoff_factor**k`` before retrying, with a hard
+  retry budget, scheduled without blocking the assignment loop;
+* **poison-task quarantine** — a task whose attempts kill
+  ``quarantine_after`` workers in a row becomes a structured
+  ``quarantined`` shard instead of an infinite crash loop;
+* **heartbeat liveness** — a worker whose heartbeat file stops changing
+  (frozen, swapped to death, SIGSTOPped) is killed and replaced even
+  when no deadline is set;
+* **graceful degradation** — after ``degrade_after_timeouts`` timed-out
+  attempts, a task that declares ``degraded_params`` retries with them
+  (e.g. the cheap Greedy mapper) and its shard is tagged
+  ``degraded: true``;
+* **crash-proof results** — every result is an atomic shard file; the
+  supervisor holds no result state that is not also on disk, so a
+  killed sweep resumes from the shards alone.
+
+The supervisor is single-threaded apart from one stdout-reader thread
+per worker (each pushes parsed events into one queue); all decisions
+happen on the main loop, which makes the state machine auditable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..checkpoint import PathLock
+from .chaos import ChaosConfig, ChaosInjector
+from .io import sweep_stale_tmp
+from .spec import (
+    FabricError,
+    SweepLayout,
+    load_manifest,
+    load_shard,
+    write_shard,
+)
+
+__all__ = ["FabricConfig", "FabricReport", "SweepFabric"]
+
+_EOF = object()
+
+#: Consecutive boot failures (per sweep, any slot) before giving up —
+#: a worker that cannot even reach "ready" means the environment is
+#: broken, and respawning forever would spin silently.
+_MAX_BOOT_FAILURES = 3
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Supervision policy for one sweep."""
+
+    workers: int = 2
+    timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    quarantine_after: int = 3
+    degrade_after_timeouts: int | None = None
+    heartbeat_interval_s: float = 0.2
+    heartbeat_timeout_s: float = 10.0
+    boot_timeout_s: float = 60.0
+    tick_s: float = 0.02
+    chaos: ChaosConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_factor < 0:
+            raise ValueError("backoff parameters must be non-negative")
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        if self.degrade_after_timeouts is not None and self.degrade_after_timeouts < 1:
+            raise ValueError("degrade_after_timeouts must be >= 1 when set")
+        for name in ("heartbeat_interval_s", "heartbeat_timeout_s",
+                     "boot_timeout_s", "tick_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s"
+            )
+
+
+@dataclass
+class _Task:
+    """Supervisor-side state for one scenario."""
+
+    key: str
+    attempts: int = 0          # attempts actually dispatched
+    timeouts: int = 0          # attempts that hit the deadline
+    worker_deaths: int = 0     # consecutive attempts that killed a worker
+    degraded: bool = False
+    not_before: float = 0.0    # monotonic backoff gate
+    last_started: float = 0.0
+    last_error: str | None = None
+    last_status: str = "failed"
+
+
+@dataclass
+class _Worker:
+    """One live worker process and its plumbing."""
+
+    slot: int
+    name: str
+    proc: subprocess.Popen
+    hb_path: Path
+    log_path: Path
+    state: str = "booting"     # booting | idle | busy
+    task: _Task | None = None
+    deadline: float | None = None
+    boot_deadline: float = 0.0
+    hb_last: bytes = b""
+    hb_changed_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class FabricReport:
+    """What happened to every task in one :meth:`SweepFabric.run`.
+
+    ``statuses`` maps each selected key to its terminal shard status;
+    ``adopted`` counts tasks served from pre-existing (resume) or
+    orphaned (crash-after-write) shards without re-execution.
+    """
+
+    statuses: dict[str, str]
+    adopted: int
+    retries: int
+    worker_restarts: int
+    degraded: int
+    elapsed_s: float
+
+    @property
+    def total(self) -> int:
+        return len(self.statuses)
+
+    def count(self, status: str) -> int:
+        return sum(1 for s in self.statuses.values() if s == status)
+
+    @property
+    def ok(self) -> bool:
+        return all(s == "ok" for s in self.statuses.values())
+
+    def summary(self) -> str:
+        return (
+            f"fabric: {self.total} tasks, ok={self.count('ok')}, "
+            f"failed={self.count('failed')}, timeout={self.count('timeout')}, "
+            f"quarantined={self.count('quarantined')}, "
+            f"adopted={self.adopted}, retries={self.retries}, "
+            f"worker_restarts={self.worker_restarts}, "
+            f"degraded={self.degraded}, elapsed={self.elapsed_s:.2f}s"
+        )
+
+    def to_outcomes(self, root: str | Path) -> dict[str, Any]:
+        """ResilientRunner interop: shards as ScenarioOutcome objects.
+
+        Lets fabric results flow into every consumer written against
+        :class:`~repro.exp.runner.ScenarioOutcome` (tables, reports).
+        """
+        from ..runner import ScenarioOutcome
+
+        out: dict[str, Any] = {}
+        for key, status in self.statuses.items():
+            row = load_shard(root, key) or {}
+            out[key] = ScenarioOutcome(
+                key=key,
+                status="ok" if status == "ok" else (
+                    "timeout" if status == "timeout" else "failed"
+                ),
+                attempts=int(row.get("attempts", 0)),
+                elapsed_s=float(row.get("elapsed_s", 0.0)),
+                result=row.get("result"),
+                error=row.get("error"),
+                from_checkpoint=False,
+            )
+        return out
+
+
+def _describe_exit(rc: int | None) -> str:
+    if rc is None:
+        return "still running"
+    if rc < 0:
+        try:
+            name = signal.Signals(-rc).name
+        except ValueError:
+            name = f"signal {-rc}"
+        return f"killed by {name}"
+    return f"exit code {rc}"
+
+
+class SweepFabric:
+    """Run a materialized sweep directory to completion under supervision.
+
+    Parameters
+    ----------
+    sweep_dir:
+        A directory prepared by :func:`~repro.exp.fabric.spec.write_sweep`
+        (manifest + spec files).
+    config:
+        The :class:`FabricConfig` supervision policy.
+    """
+
+    def __init__(
+        self, sweep_dir: str | Path, *, config: FabricConfig | None = None
+    ) -> None:
+        self.layout = SweepLayout(sweep_dir)
+        self.config = config or FabricConfig()
+        self.injector = (
+            ChaosInjector(self.config.chaos) if self.config.chaos else None
+        )
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self, *, resume: bool = False, keys: Sequence[str] | None = None
+    ) -> FabricReport:
+        """Execute every selected task; returns when all have shards.
+
+        With ``resume=False`` the shard directory must hold no results
+        for the selected keys.  With ``resume=True``, valid ``ok``
+        shards are adopted untouched and every other shard (failed,
+        timed out, quarantined, corrupt, half-written) is re-run —
+        resuming is how a sweep heals.
+        """
+        from ...obs import get_metrics, get_recorder
+
+        manifest = load_manifest(self.layout.root)
+        if keys is None:
+            selected = list(manifest)
+        else:
+            unknown = sorted(set(keys) - set(manifest))
+            if unknown:
+                raise FabricError(f"keys not in manifest: {unknown}")
+            wanted = set(keys)
+            selected = [k for k in manifest if k in wanted]
+
+        obs = get_recorder()
+        self._metrics = get_metrics()
+        start = time.monotonic()
+        with PathLock(self.layout.lock_path):
+            sweep_stale_tmp(self.layout.shards_dir)
+            self._statuses: dict[str, str] = {}
+            self._adopted = 0
+            self._retries = 0
+            self._restarts = 0
+            self._degraded_done = 0
+            self._boot_failures = 0
+            pending_keys: list[str] = []
+            for key in selected:
+                row = load_shard(self.layout.root, key)
+                if row is not None and row["status"] == "ok":
+                    if not resume:
+                        raise FabricError(
+                            f"shard for {key!r} already exists; pass "
+                            "resume=True to adopt finished work or use a "
+                            "fresh sweep directory"
+                        )
+                    self._statuses[key] = "ok"
+                    self._adopted += 1
+                    if row.get("degraded"):
+                        self._degraded_done += 1
+                    continue
+                if row is not None and not resume:
+                    raise FabricError(
+                        f"shard for {key!r} already exists; pass "
+                        "resume=True to retry unfinished work"
+                    )
+                if row is not None:  # failed/timeout/quarantined: retry
+                    try:
+                        self.layout.shard_path(key).unlink()
+                    except OSError:
+                        pass
+                pending_keys.append(key)
+
+            with obs.span(
+                "fabric.sweep",
+                num_tasks=len(selected),
+                pending=len(pending_keys),
+                workers=self.config.workers,
+                resume=resume,
+                chaos=self.config.chaos is not None,
+            ) as span:
+                if pending_keys:
+                    self._execute(pending_keys)
+                span.set(
+                    adopted=self._adopted,
+                    retries=self._retries,
+                    worker_restarts=self._restarts,
+                )
+        report = FabricReport(
+            statuses={k: self._statuses[k] for k in selected},
+            adopted=self._adopted,
+            retries=self._retries,
+            worker_restarts=self._restarts,
+            degraded=self._degraded_done,
+            elapsed_s=time.monotonic() - start,
+        )
+        if self._metrics.enabled:
+            self._metrics.set_gauge("fabric_queue_depth", 0)
+        return report
+
+    # ------------------------------------------------------------ main loop
+
+    def _execute(self, pending_keys: list[str]) -> None:
+        for d in (self.layout.shards_dir, self.layout.hb_dir,
+                  self.layout.traces_dir, self.layout.logs_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self._tasks = {key: _Task(key=key) for key in pending_keys}
+        self._pending: deque[_Task] = deque(self._tasks.values())
+        self._events: "queue.Queue[tuple[str, Any]]" = queue.Queue()
+        self._workers: dict[str, _Worker] = {}
+        self._retired: set[str] = set()
+        self._incarnations = [0] * self.config.workers
+        self._unsettled = set(pending_keys)
+        try:
+            for slot in range(min(self.config.workers, len(pending_keys))):
+                self._spawn(slot)
+            while self._unsettled:
+                now = time.monotonic()
+                self._assign(now)
+                self._drain_events()
+                now = time.monotonic()
+                self._check_deadlines(now)
+                self._check_heartbeats(now)
+                self._check_exits()
+                self._ensure_capacity()
+                if self._metrics.enabled:
+                    self._metrics.set_gauge(
+                        "fabric_queue_depth", len(self._pending)
+                    )
+        finally:
+            self._shutdown_workers()
+
+    # ------------------------------------------------------------- spawning
+
+    def _spawn(self, slot: int) -> _Worker:
+        incarnation = self._incarnations[slot]
+        self._incarnations[slot] += 1
+        name = f"w{slot}-{incarnation}"
+        hb_path = self.layout.hb_dir / f"{slot}.hb"
+        log_path = self.layout.logs_dir / f"{name}.log"
+        trace_path = self.layout.traces_dir / f"{name}.trace.json"
+        env = dict(os.environ)
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+        log_fh = open(log_path, "w")
+        try:
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.exp.fabric.worker",
+                    "--sweep-dir", str(self.layout.root),
+                    "--name", name,
+                    "--heartbeat", str(hb_path),
+                    "--trace", str(trace_path),
+                    "--heartbeat-interval",
+                    str(self.config.heartbeat_interval_s),
+                ],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=log_fh,
+                text=True,
+                bufsize=1,
+                env=env,
+            )
+        finally:
+            log_fh.close()  # the child holds its own descriptor now
+        now = time.monotonic()
+        worker = _Worker(
+            slot=slot,
+            name=name,
+            proc=proc,
+            hb_path=hb_path,
+            log_path=log_path,
+            boot_deadline=now + self.config.boot_timeout_s,
+            hb_changed_at=now,
+        )
+        self._workers[name] = worker
+        reader = threading.Thread(
+            target=self._read_stdout,
+            args=(name, proc),
+            daemon=True,
+            name=f"fabric-reader-{name}",
+        )
+        reader.start()
+        return worker
+
+    def _read_stdout(self, name: str, proc: subprocess.Popen) -> None:
+        try:
+            stream = proc.stdout
+            if stream is None:
+                return
+            for line in stream:
+                self._events.put((name, line))
+        except (OSError, ValueError):
+            pass
+        finally:
+            self._events.put((name, _EOF))
+
+    def _ensure_capacity(self) -> None:
+        """Respawn lost workers while runnable work remains."""
+        runnable = len(self._pending) + sum(
+            1 for w in self._workers.values() if w.state == "busy"
+        )
+        if not runnable and self._unsettled:
+            # Every unsettled task is in backoff; keep one worker warm.
+            runnable = 1
+        want = min(self.config.workers, runnable)
+        if len(self._workers) >= want:
+            return
+        live_slots = {w.slot for w in self._workers.values()}
+        for slot in range(self.config.workers):
+            if len(self._workers) >= want:
+                break
+            if slot not in live_slots:
+                self._spawn(slot)
+                live_slots.add(slot)
+
+    # ----------------------------------------------------------- assignment
+
+    def _assign(self, now: float) -> None:
+        idle = [w for w in self._workers.values() if w.state == "idle"]
+        if not idle or not self._pending:
+            return
+        ready: list[_Task] = []
+        scan = len(self._pending)
+        for _ in range(scan):
+            task = self._pending.popleft()
+            if task.not_before <= now and len(ready) < len(idle):
+                ready.append(task)
+            else:
+                self._pending.append(task)
+        for worker, task in zip(idle, ready):
+            self._dispatch(worker, task, now)
+
+    def _dispatch(self, worker: _Worker, task: _Task, now: float) -> None:
+        attempt = task.attempts
+        task.attempts += 1
+        task.last_started = now
+        chaos = (
+            self.injector.action_for(task.key, attempt)
+            if self.injector is not None
+            else None
+        )
+        msg = {
+            "cmd": "task",
+            "key": task.key,
+            "attempt": attempt,
+            "degraded": task.degraded,
+            "chaos": chaos,
+        }
+        try:
+            stdin = worker.proc.stdin
+            if stdin is None:
+                raise OSError("worker stdin closed")
+            stdin.write(json.dumps(msg) + "\n")
+            stdin.flush()
+        except OSError:
+            # The worker died between polls; undo the attempt and let
+            # the exit check handle the corpse.
+            task.attempts -= 1
+            self._pending.appendleft(task)
+            return
+        worker.state = "busy"
+        worker.task = task
+        worker.deadline = (
+            now + self.config.timeout_s
+            if self.config.timeout_s is not None
+            else None
+        )
+
+    # --------------------------------------------------------------- events
+
+    def _drain_events(self) -> None:
+        try:
+            name, payload = self._events.get(timeout=self.config.tick_s)
+        except queue.Empty:
+            return
+        while True:
+            self._handle_event(name, payload)
+            try:
+                name, payload = self._events.get_nowait()
+            except queue.Empty:
+                return
+
+    def _handle_event(self, name: str, payload: Any) -> None:
+        if name in self._retired:
+            return
+        worker = self._workers.get(name)
+        if worker is None:
+            return
+        if payload is _EOF:
+            # Stream closed: the process is gone or going.  A worker
+            # that closed stdout but kept running is useless to us —
+            # kill it so wait() cannot block, then reap.
+            if worker.proc.poll() is None:
+                try:
+                    worker.proc.kill()
+                except OSError:
+                    pass
+            worker.proc.wait()
+            self._on_worker_death(worker)
+            return
+        try:
+            msg = json.loads(payload)
+        except json.JSONDecodeError:
+            return
+        event = msg.get("event")
+        if event == "ready":
+            worker.state = "idle"
+            self._boot_failures = 0
+        elif event == "done":
+            self._on_done(worker, msg)
+
+    def _on_done(self, worker: _Worker, msg: dict[str, Any]) -> None:
+        task = worker.task
+        worker.task = None
+        worker.state = "idle"
+        worker.deadline = None
+        if task is None or msg.get("key") != task.key:
+            return
+        if msg.get("status") == "ok":
+            row = load_shard(self.layout.root, task.key)
+            if row is None:
+                # The worker acked but the shard did not survive
+                # validation — treat as a failed attempt.
+                task.worker_deaths = 0
+                self._attempt_failed(
+                    task, "failed",
+                    "worker acked ok but wrote no valid shard",
+                )
+                return
+            task.worker_deaths = 0
+            self._settle(task.key, "ok", degraded=bool(row.get("degraded")))
+        else:
+            # The worker survived (in-process exception), so the
+            # consecutive worker-death streak resets.
+            task.worker_deaths = 0
+            self._attempt_failed(
+                task, "failed", str(msg.get("error") or "task failed")
+            )
+
+    # ---------------------------------------------------- liveness policing
+
+    def _check_deadlines(self, now: float) -> None:
+        for worker in list(self._workers.values()):
+            if worker.state != "busy" or worker.deadline is None:
+                continue
+            if now <= worker.deadline:
+                continue
+            task = worker.task
+            self._kill(worker)
+            if task is not None:
+                task.timeouts += 1
+                self._maybe_degrade(task)
+                self._finish_interrupted_attempt(
+                    worker, task, "timeout",
+                    f"exceeded {self.config.timeout_s}s budget "
+                    f"(worker {worker.name} killed)",
+                    count_worker_death=False,
+                )
+
+    def _check_heartbeats(self, now: float) -> None:
+        for worker in list(self._workers.values()):
+            if worker.state == "booting":
+                if now > worker.boot_deadline:
+                    self._kill(worker)
+                    self._note_boot_failure(worker, "boot timeout")
+                continue
+            try:
+                beat = worker.hb_path.read_bytes()
+            except OSError:
+                beat = worker.hb_last
+            if beat != worker.hb_last:
+                worker.hb_last = beat
+                worker.hb_changed_at = now
+                continue
+            if now - worker.hb_changed_at <= self.config.heartbeat_timeout_s:
+                continue
+            task = worker.task
+            self._kill(worker)
+            if task is not None:
+                self._finish_interrupted_attempt(
+                    worker, task, "failed",
+                    f"worker {worker.name} unresponsive "
+                    f"(no heartbeat for {self.config.heartbeat_timeout_s}s)",
+                    count_worker_death=True,
+                )
+
+    def _check_exits(self) -> None:
+        for worker in list(self._workers.values()):
+            if worker.proc.poll() is not None:
+                self._on_worker_death(worker)
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        if worker.name in self._retired:
+            return
+        rc = worker.proc.poll()
+        task = worker.task
+        self._retire(worker)
+        if worker.state == "booting":
+            self._note_boot_failure(worker, _describe_exit(rc))
+            return
+        if task is not None:
+            self._finish_interrupted_attempt(
+                worker, task, "failed",
+                f"worker {worker.name} died ({_describe_exit(rc)}); "
+                f"stderr: {worker.log_path}",
+                count_worker_death=True,
+            )
+
+    def _note_boot_failure(self, worker: _Worker, why: str) -> None:
+        self._boot_failures += 1
+        if self._boot_failures >= _MAX_BOOT_FAILURES:
+            tail = ""
+            try:
+                tail = worker.log_path.read_text()[-2000:]
+            except OSError:
+                pass
+            raise FabricError(
+                f"worker {worker.name} failed to boot ({why}) — "
+                f"{self._boot_failures} consecutive boot failures, "
+                f"giving up. Worker stderr tail:\n{tail}"
+            )
+
+    def _finish_interrupted_attempt(
+        self,
+        worker: _Worker,
+        task: _Task,
+        status: str,
+        error: str,
+        *,
+        count_worker_death: bool,
+    ) -> None:
+        """Resolve a task whose worker was killed or died under it."""
+        # Crash-after-write adoption: the worker may have completed and
+        # persisted the shard before dying (chaos kill-after-write, or a
+        # crash in the ack path).  Disk is the source of truth.
+        row = load_shard(self.layout.root, task.key)
+        if row is not None and row["status"] == "ok":
+            self._adopted += 1
+            self._settle(task.key, "ok", degraded=bool(row.get("degraded")))
+            return
+        if count_worker_death:
+            task.worker_deaths += 1
+            if task.worker_deaths >= self.config.quarantine_after:
+                self._quarantine(task, error)
+                return
+        self._attempt_failed(task, status, error)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _kill(self, worker: _Worker) -> None:
+        """SIGKILL a worker (SIGCONT first, so frozen workers die too)."""
+        try:
+            worker.proc.send_signal(signal.SIGCONT)
+        except (OSError, ValueError):
+            pass
+        try:
+            worker.proc.kill()
+        except (OSError, ValueError):
+            pass
+        try:
+            worker.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            pass
+        self._retire(worker)
+
+    def _retire(self, worker: _Worker) -> None:
+        if worker.name in self._retired:
+            return
+        self._retired.add(worker.name)
+        self._workers.pop(worker.name, None)
+        for stream in (worker.proc.stdin, worker.proc.stdout):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        if worker.proc.poll() is None:
+            try:
+                worker.proc.kill()
+                worker.proc.wait(timeout=10)
+            except (OSError, subprocess.TimeoutExpired):
+                pass
+        if worker.state != "booting":
+            self._restarts += 1
+            if self._metrics.enabled:
+                self._metrics.inc("fabric_worker_restarts_total")
+
+    # ------------------------------------------------------- task terminals
+
+    def _attempt_failed(self, task: _Task, status: str, error: str) -> None:
+        task.last_error = error
+        task.last_status = status
+        max_attempts = 1 + self.config.max_retries
+        from ...obs import get_recorder
+
+        get_recorder().event(
+            "fabric.attempt_failed",
+            key=task.key,
+            attempt=task.attempts - 1,
+            status=status,
+            error=error,
+        )
+        if task.attempts >= max_attempts:
+            self._write_terminal_shard(task, status, error)
+            return
+        backoff = (
+            self.config.backoff_base_s
+            * self.config.backoff_factor ** (task.attempts - 1)
+        )
+        task.not_before = time.monotonic() + backoff
+        self._retries += 1
+        if self._metrics.enabled:
+            self._metrics.inc("fabric_task_retries_total")
+        self._pending.append(task)
+
+    def _maybe_degrade(self, task: _Task) -> None:
+        limit = self.config.degrade_after_timeouts
+        if limit is None or task.degraded or task.timeouts < limit:
+            return
+        from .spec import load_spec
+
+        try:
+            spec = load_spec(self.layout.root, task.key)
+        except FabricError:
+            return
+        if not spec.degraded_params:
+            return
+        task.degraded = True
+        from ...obs import get_recorder
+
+        get_recorder().event(
+            "fabric.degraded", key=task.key, after_timeouts=task.timeouts
+        )
+
+    def _quarantine(self, task: _Task, error: str) -> None:
+        self._write_terminal_shard(
+            task,
+            "quarantined",
+            f"poison task: killed {task.worker_deaths} workers in a row; "
+            f"last: {error}",
+        )
+        if self._metrics.enabled:
+            self._metrics.inc("fabric_tasks_quarantined_total")
+
+    def _write_terminal_shard(
+        self, task: _Task, status: str, error: str
+    ) -> None:
+        elapsed = max(0.0, time.monotonic() - task.last_started)
+        write_shard(
+            self.layout.root,
+            task.key,
+            status=status if status in ("timeout", "quarantined") else "failed",
+            result=None,
+            error=error,
+            attempts=task.attempts,
+            elapsed_s=elapsed,
+            worker="supervisor",
+            degraded=task.degraded,
+        )
+        self._settle(task.key, load_shard(self.layout.root, task.key)["status"])
+
+    def _settle(
+        self, key: str, status: str, *, degraded: bool = False
+    ) -> None:
+        if key not in self._unsettled:
+            return
+        self._unsettled.discard(key)
+        self._statuses[key] = status
+        if degraded:
+            self._degraded_done += 1
+        task = self._tasks.get(key)
+        if task is not None and task in self._pending:
+            self._pending.remove(task)
+        if self._metrics.enabled:
+            self._metrics.inc("fabric_tasks_total", status=status)
+            if task is not None and task.last_started > 0:
+                self._metrics.observe(
+                    "fabric_task_seconds",
+                    max(0.0, time.monotonic() - task.last_started),
+                    status=status,
+                )
+
+    # -------------------------------------------------------------- shutdown
+
+    def _shutdown_workers(self) -> None:
+        for worker in list(self._workers.values()):
+            try:
+                stdin = worker.proc.stdin
+                if stdin is not None:
+                    stdin.write(json.dumps({"cmd": "shutdown"}) + "\n")
+                    stdin.flush()
+                    stdin.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in list(self._workers.values()):
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                worker.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+                try:
+                    worker.proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    pass
+            self._retired.add(worker.name)
+            for stream in (worker.proc.stdin, worker.proc.stdout):
+                try:
+                    if stream is not None:
+                        stream.close()
+                except OSError:
+                    pass
+        self._workers.clear()

@@ -1,0 +1,285 @@
+"""The fabric's task registry: JSON params in, JSON row out.
+
+Workers are shared-nothing processes, so a task cannot be a closure —
+it is a *kind* (a name in this registry) plus a JSON ``params`` dict,
+both carried by the spec file.  Task functions must be deterministic in
+their params (seeds travel inside ``params``); any timing they want to
+report goes under a ``"timing"`` sub-dict, which the merge layer strips
+when comparing chaotic and fault-free sweeps for payload identity.
+
+Built-in kinds:
+
+``demo``
+    A cheap deterministic hash workload with fault-injection knobs
+    (``sleep_s``, ``explode``, ``die_signal``) — the substrate for the
+    fabric's own tests, benchmarks, and the CI chaos smoke.
+``map-cell``
+    Map one Fig. 7-style scale scenario with one mapper; optionally
+    simulate.  Degrades to the Greedy mapper.
+``robustness-cell``
+    One (fault x mapper) cell of the robustness harness — the fabric
+    version of ``python -m repro robustness``.  Degrades to Greedy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Any, Callable, Iterable, Sequence
+
+from .spec import TaskSpec
+
+__all__ = [
+    "TaskFn",
+    "register_task",
+    "get_task",
+    "available_tasks",
+    "demo_specs",
+    "fig7_specs",
+    "robustness_specs",
+]
+
+TaskFn = Callable[[dict[str, Any]], dict[str, Any]]
+
+_TASK_REGISTRY: dict[str, TaskFn] = {}
+
+
+def register_task(kind: str) -> Callable[[TaskFn], TaskFn]:
+    """Register a task function under ``kind`` (decorator)."""
+
+    def deco(fn: TaskFn) -> TaskFn:
+        if kind in _TASK_REGISTRY:
+            raise ValueError(f"task kind {kind!r} is already registered")
+        _TASK_REGISTRY[kind] = fn
+        return fn
+
+    return deco
+
+
+def get_task(kind: str) -> TaskFn:
+    try:
+        return _TASK_REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown task kind {kind!r}; available: {available_tasks()}"
+        ) from None
+
+
+def available_tasks() -> list[str]:
+    return sorted(_TASK_REGISTRY)
+
+
+# ------------------------------------------------------------------ builtins
+
+
+@register_task("demo")
+def demo_task(params: dict[str, Any]) -> dict[str, Any]:
+    """Deterministic busywork with injectable misbehavior.
+
+    ``work`` rounds of SHA-256 over the canonical params JSON produce a
+    digest that is a pure function of the params — the payload two
+    sweeps are compared on.  ``sleep_s`` stalls (for timeout tests),
+    ``explode`` raises (in-worker failure path), ``die_signal`` kills
+    the worker process outright (crash-isolation path).
+    """
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    if params.get("explode"):
+        raise RuntimeError(f"demo task exploded: {params.get('explode')}")
+    die = params.get("die_signal")
+    if die:
+        os.kill(os.getpid(), int(die))
+    work = int(params.get("work", 64))
+    payload_fields = {
+        k: v
+        for k, v in params.items()
+        if k not in ("sleep_s", "explode", "die_signal")
+    }
+    digest = json.dumps(payload_fields, sort_keys=True).encode()
+    for _ in range(max(1, work)):
+        digest = hashlib.sha256(digest).digest()
+    return {"digest": digest.hex(), "work": work}
+
+
+def _mapper_from_params(params: dict[str, Any]) -> Any:
+    from ...core import get_mapper
+
+    name = str(params.get("mapper", "greedy"))
+    kwargs: dict[str, Any] = {}
+    if name == "geo-distributed" and "kappa" in params:
+        kwargs["kappa"] = int(params["kappa"])
+    return get_mapper(name, **kwargs)
+
+
+@register_task("map-cell")
+def map_cell_task(params: dict[str, Any]) -> dict[str, Any]:
+    """One (scale, mapper) cell of the Fig. 7 scalability grid.
+
+    Params: ``app``, ``machines``, ``sites`` (default 4),
+    ``constraint_ratio`` (default 0.2), ``seed``, ``mapper``, optional
+    ``kappa``, optional ``simulate`` (simulated times are deterministic
+    — they come from the discrete-event clock, not the wall clock).
+    """
+    from ..scenarios import PAPER_CONSTRAINT_RATIO, scale_scenario
+
+    scenario = scale_scenario(
+        str(params.get("app", "LU")),
+        int(params["machines"]),
+        num_sites=int(params.get("sites", 4)),
+        constraint_ratio=float(
+            params.get("constraint_ratio", PAPER_CONSTRAINT_RATIO)
+        ),
+        seed=int(params.get("seed", 0)),
+    )
+    mapper = _mapper_from_params(params)
+    mapping = mapper.map(scenario.problem, seed=int(params.get("seed", 0)))
+    row: dict[str, Any] = {
+        "app": scenario.app.name,
+        "machines": int(params["machines"]),
+        "mapper": mapping.mapper,
+        "cost": float(mapping.cost),
+        "assignment_sha": hashlib.sha256(
+            mapping.assignment.tobytes()
+        ).hexdigest(),
+        "timing": {"map_elapsed_s": float(mapping.elapsed_s)},
+    }
+    if params.get("simulate"):
+        from ..runner import simulate_mapping
+
+        sim = simulate_mapping(
+            scenario.app, scenario.problem, mapping.assignment, mode="comm"
+        )
+        row["comm_time_s"] = float(sim.makespan_s)
+    return row
+
+
+@register_task("robustness-cell")
+def robustness_cell_task(params: dict[str, Any]) -> dict[str, Any]:
+    """One (fault x mapper) cell of the robustness harness.
+
+    Params: ``app``, ``processes``, ``sites``, ``slack``,
+    ``constraint_ratio``, ``seed``, ``fault`` (a standard-suite name),
+    ``mapper`` (a registry name).
+    """
+    from ...faults.suite import standard_fault_suite
+    from ..robustness import evaluate_robustness, robustness_scenario
+
+    scenario = robustness_scenario(
+        str(params.get("app", "LU")),
+        int(params["processes"]),
+        num_sites=int(params.get("sites", 4)),
+        slack=float(params.get("slack", 2.0)),
+        constraint_ratio=float(params.get("constraint_ratio", 0.2)),
+        seed=int(params.get("seed", 0)),
+    )
+    suite = standard_fault_suite(scenario.problem.num_sites)
+    fault = str(params["fault"])
+    if fault not in suite:
+        raise KeyError(
+            f"unknown fault {fault!r}; available: {sorted(suite)}"
+        )
+    mapper = _mapper_from_params(params)
+    cells = evaluate_robustness(
+        scenario.problem,
+        {str(params.get("mapper", "greedy")): mapper},
+        suite={fault: suite[fault]},
+        seed=int(params.get("seed", 0)),
+    )
+    return cells[0].to_dict()
+
+
+# -------------------------------------------------------------- spec builders
+
+
+def demo_specs(
+    num_tasks: int,
+    *,
+    seed: int = 0,
+    work: int = 64,
+) -> list[TaskSpec]:
+    """``num_tasks`` deterministic demo tasks (CI/bench substrate)."""
+    if num_tasks < 1:
+        raise ValueError(f"num_tasks must be >= 1, got {num_tasks}")
+    return [
+        TaskSpec(
+            key=f"demo/{i:04d}",
+            kind="demo",
+            params={"index": i, "seed": seed, "work": work},
+            degraded_params={"work": 1},
+        )
+        for i in range(num_tasks)
+    ]
+
+
+def fig7_specs(
+    *,
+    app: str = "LU",
+    scales: Sequence[int] = (64, 128, 256),
+    mappers: Sequence[str] = ("greedy", "geo-distributed"),
+    seeds: Iterable[int] = (0,),
+    sites: int = 4,
+    simulate: bool = False,
+) -> list[TaskSpec]:
+    """The Fig. 7 scalability grid as fabric specs.
+
+    Keys read ``fig7/<app>/n<machines>/<mapper>/s<seed>``; every cell
+    degrades to the Greedy mapper under repeated timeouts.
+    """
+    return [
+        TaskSpec(
+            key=f"fig7/{app}/n{n}/{mapper}/s{seed}",
+            kind="map-cell",
+            params={
+                "app": app,
+                "machines": n,
+                "sites": sites,
+                "mapper": mapper,
+                "seed": seed,
+                "simulate": simulate,
+            },
+            degraded_params={"mapper": "greedy"},
+        )
+        for n in scales
+        for mapper in mappers
+        for seed in seeds
+    ]
+
+
+def robustness_specs(
+    *,
+    app: str = "LU",
+    processes: int = 32,
+    sites: int = 4,
+    slack: float = 2.0,
+    faults: Sequence[str] = (
+        "outage",
+        "brownout",
+        "latency-spike",
+        "capacity-loss",
+        "flapping",
+    ),
+    mappers: Sequence[str] = ("greedy", "geo-distributed"),
+    seed: int = 0,
+) -> list[TaskSpec]:
+    """The (fault x mapper) robustness grid as fabric specs."""
+    return [
+        TaskSpec(
+            key=f"robustness/{fault}/{mapper}",
+            kind="robustness-cell",
+            params={
+                "app": app,
+                "processes": processes,
+                "sites": sites,
+                "slack": slack,
+                "fault": fault,
+                "mapper": mapper,
+                "seed": seed,
+            },
+            degraded_params={"mapper": "greedy"},
+        )
+        for fault in faults
+        for mapper in mappers
+    ]

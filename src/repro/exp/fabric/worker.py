@@ -1,0 +1,207 @@
+"""Fabric worker process: ``python -m repro.exp.fabric.worker``.
+
+One worker is one OS process owned by a :class:`~repro.exp.fabric.
+supervisor.SweepFabric`.  The protocol is line-delimited JSON:
+
+* supervisor -> worker (stdin): ``{"cmd": "task", "key": ..., "attempt":
+  n, "degraded": bool, "chaos": {...}|null}`` or ``{"cmd": "shutdown"}``;
+* worker -> supervisor (stdout): ``{"event": "ready"}`` once at boot,
+  then ``{"event": "done", "key": ..., "status": "ok"|"failed", ...}``
+  after each task.
+
+The worker loads each spec from the sweep directory itself (shared-
+nothing: the only state that crosses the process boundary is files and
+the tiny control messages), runs the task function under a span
+recorder, writes the result shard atomically, rewrites its own trace
+file, and only then acks.  Everything of value is on disk before the
+ack, so a worker killed at any instant loses at most the task in
+flight — which the supervisor retries.
+
+A daemon heartbeat thread bumps a counter file every
+``--heartbeat-interval`` seconds.  It keeps beating while a task spins
+in native code (hang detection stays with the *deadline*); it stops only
+when the process itself is dead or frozen (SIGSTOP/livelock), which is
+what heartbeat liveness detection is for.
+
+Chaos actions arrive with the task message and are executed here — see
+:mod:`repro.exp.fabric.chaos` for the catalog.  The kills are genuine
+SIGKILLs of this process; nothing is simulated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from ...obs import SpanRecorder, set_recorder, trace_to_dict
+from .io import atomic_write_json
+from .spec import load_spec, write_shard
+from .tasks import get_task
+
+__all__ = ["main"]
+
+
+def _heartbeat_loop(path: Path, interval_s: float) -> None:
+    counter = 0
+    while True:
+        counter += 1
+        try:
+            with open(path, "w") as fh:
+                fh.write(str(counter))
+                fh.flush()
+        except OSError:
+            pass
+        time.sleep(interval_s)
+
+
+def _apply_pre_chaos(chaos: dict[str, Any] | None) -> None:
+    """Execute a pre-run chaos action (may never return)."""
+    if not chaos:
+        return
+    action = chaos.get("action")
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "freeze":
+        os.kill(os.getpid(), signal.SIGSTOP)
+    elif action == "hang":
+        while True:  # pragma: no cover - reclaimed only by SIGKILL
+            time.sleep(3600)
+    elif action == "delay":
+        time.sleep(float(chaos.get("delay_s", 0.05)))
+
+
+def _post_write_chaos_hook(chaos: dict[str, Any] | None, *, mid_write: bool):
+    """The before/after-replace SIGKILL hooks for write-phase chaos."""
+    if not chaos:
+        return None
+    action = chaos.get("action")
+    wanted = "kill-mid-write" if mid_write else "kill-after-write"
+    if action != wanted:
+        return None
+
+    def die() -> None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    return die
+
+
+def _run_task(
+    sweep_dir: str, name: str, msg: dict[str, Any], recorder: SpanRecorder
+) -> dict[str, Any]:
+    """Execute one task message; returns the ack event dict."""
+    key = str(msg["key"])
+    attempt = int(msg.get("attempt", 0))
+    degraded = bool(msg.get("degraded", False))
+    chaos = msg.get("chaos")
+    _apply_pre_chaos(chaos)
+    start = time.perf_counter()
+    status, error, result = "ok", None, None
+    with recorder.span(
+        "fabric.task",
+        key=key,
+        attempt=attempt,
+        worker=name,
+        degraded=degraded,
+    ) as span:
+        try:
+            spec = load_spec(sweep_dir, key)
+            params = spec.effective_params(degraded=degraded)
+            # Task functions must not pollute the control channel.
+            with contextlib.redirect_stdout(sys.stderr):
+                result = get_task(spec.kind)(params)
+            if not isinstance(result, dict):
+                raise TypeError(
+                    f"task {spec.kind!r} returned {type(result).__name__}, "
+                    "expected a JSON-friendly dict"
+                )
+        except Exception as exc:
+            status = "failed"
+            error = f"{type(exc).__name__}: {exc}"
+        span.set(status=status)
+    elapsed = time.perf_counter() - start
+    if status == "ok":
+        # kill-mid-write fires between temp-fsync and rename (no shard
+        # survives); kill-after-write fires after the rename (a complete
+        # shard survives, but no ack follows).
+        write_shard(
+            sweep_dir,
+            key,
+            status="ok",
+            result=result,
+            error=None,
+            attempts=attempt + 1,
+            elapsed_s=elapsed,
+            worker=name,
+            degraded=degraded,
+            before_replace=_post_write_chaos_hook(chaos, mid_write=True),
+        )
+        after = _post_write_chaos_hook(chaos, mid_write=False)
+        if after is not None:
+            after()
+    return {
+        "event": "done",
+        "key": key,
+        "status": status,
+        "error": error,
+        "elapsed_s": elapsed,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-fabric-worker")
+    parser.add_argument("--sweep-dir", required=True)
+    parser.add_argument("--name", required=True)
+    parser.add_argument("--heartbeat", required=True)
+    parser.add_argument("--trace", required=True)
+    parser.add_argument("--heartbeat-interval", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    hb = threading.Thread(
+        target=_heartbeat_loop,
+        args=(Path(args.heartbeat), args.heartbeat_interval),
+        daemon=True,
+        name="fabric-heartbeat",
+    )
+    hb.start()
+
+    recorder = SpanRecorder()
+    set_recorder(recorder)
+
+    def emit(event: dict[str, Any]) -> None:
+        sys.stdout.write(json.dumps(event) + "\n")
+        sys.stdout.flush()
+
+    emit({"event": "ready", "worker": args.name})
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            msg = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a garbled control line is the supervisor's bug
+        if msg.get("cmd") == "shutdown":
+            break
+        if msg.get("cmd") != "task":
+            continue
+        event = _run_task(args.sweep_dir, args.name, msg, recorder)
+        # Persist this worker's spans after every task; a later SIGKILL
+        # loses at most the in-flight span, not the history.
+        try:
+            atomic_write_json(args.trace, trace_to_dict(recorder.roots))
+        except Exception:
+            pass
+        emit(event)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -41,10 +41,21 @@ __all__ = [
     "RunResult",
     "ScenarioOutcome",
     "ResilientRunner",
+    "AbandonedThreadLimitError",
     "build_problem",
     "simulate_mapping",
     "run_comparison",
 ]
+
+
+class AbandonedThreadLimitError(RuntimeError):
+    """A runner abandoned more hung executors than ``max_abandoned``.
+
+    Each abandoned thread leaks CPU and memory for the life of the
+    process; hitting the cap means the workload hangs systematically
+    and should run under process isolation
+    (:class:`repro.exp.fabric.SweepFabric`) instead.
+    """
 
 
 @dataclass(frozen=True)
@@ -276,6 +287,15 @@ class ResilientRunner:
     sleep:
         Injectable sleep function (tests pass a recorder; default
         :func:`time.sleep`).
+    max_abandoned:
+        Hard cap on abandoned hung executors per runner.  An abandoned
+        thread never dies — it keeps its CPU, its memory, and anything
+        it locked — so a sweep that hits this cap is leaking resources
+        at a rate that will eventually take the host down.  Exceeding
+        it raises :class:`AbandonedThreadLimitError` instead of limping
+        on.  The real fix for hang-prone workloads is process
+        isolation: :class:`repro.exp.fabric.SweepFabric` SIGKILLs a
+        hung worker and actually reclaims the CPU.
     """
 
     def __init__(
@@ -287,6 +307,7 @@ class ResilientRunner:
         backoff_factor: float = 2.0,
         checkpoint: CheckpointStore | str | Path | None = None,
         sleep: Callable[[float], None] | None = None,
+        max_abandoned: int = 32,
     ) -> None:
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
@@ -294,10 +315,14 @@ class ResilientRunner:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if backoff_base_s < 0 or backoff_factor < 0:
             raise ValueError("backoff parameters must be non-negative")
+        if max_abandoned < 1:
+            raise ValueError(f"max_abandoned must be >= 1, got {max_abandoned}")
         self.timeout_s = timeout_s
         self.max_retries = int(max_retries)
         self.backoff_base_s = float(backoff_base_s)
         self.backoff_factor = float(backoff_factor)
+        self.max_abandoned = int(max_abandoned)
+        self.abandoned_threads = 0
         if isinstance(checkpoint, (str, Path)):
             checkpoint = CheckpointStore(checkpoint)
         self.checkpoint = checkpoint
@@ -319,9 +344,27 @@ class ResilientRunner:
                 result = future.result(timeout=self.timeout_s)
             except FutureTimeoutError:
                 # Abandon the hung thread; a fresh executor serves the
-                # next attempt so the sweep never blocks on it.
+                # next attempt so the sweep never blocks on it.  The
+                # thread itself cannot be reclaimed — count the leak
+                # and refuse to accumulate them without bound.
                 future.cancel()
                 executor.shutdown(wait=False, cancel_futures=True)
+                self.abandoned_threads += 1
+                from ..obs import get_metrics
+
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.set_gauge(
+                        "runner_abandoned_threads", self.abandoned_threads
+                    )
+                if self.abandoned_threads > self.max_abandoned:
+                    raise AbandonedThreadLimitError(
+                        f"abandoned {self.abandoned_threads} hung worker "
+                        f"threads (cap {self.max_abandoned}); each leaks "
+                        "CPU and memory for the life of this process — "
+                        "run this sweep under repro.exp.fabric."
+                        "SweepFabric, which kills hung workers for real"
+                    )
                 return (
                     "timeout",
                     None,
@@ -354,6 +397,11 @@ class ResilientRunner:
                 start = time.perf_counter()
                 try:
                     status, result, error = self._attempt(thunk)
+                except AbandonedThreadLimitError:
+                    # Resource-exhaustion guard, not a scenario failure:
+                    # converting it to a failure row would hide a leak
+                    # that only gets worse with every further timeout.
+                    raise
                 except Exception as exc:  # graceful degradation: failure row
                     status, result = "failed", None
                     error = f"{type(exc).__name__}: {exc}"

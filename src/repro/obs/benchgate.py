@@ -58,6 +58,7 @@ QUICK_BENCH_SCRIPTS: tuple[str, ...] = (
     "bench_obs.py",
     "bench_multilevel.py",
     "bench_lint.py",
+    "bench_fabric.py",
 )
 
 #: ``(bench, n, m)`` — stable across machines, unlike hostnames or paths.

@@ -1,0 +1,99 @@
+"""Deterministic chaos injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.fabric import CHAOS_ACTIONS, ChaosConfig, ChaosInjector
+
+
+class TestChaosConfig:
+    def test_defaults_are_harmless(self):
+        inj = ChaosInjector(ChaosConfig())
+        assert inj.action_for("any", 0) is None
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError, match="outside"):
+            ChaosConfig(kill=1.5)
+        with pytest.raises(ValueError, match="outside"):
+            ChaosConfig(hang=-0.1)
+
+    def test_fractions_must_leave_room(self):
+        with pytest.raises(ValueError, match="sum"):
+            ChaosConfig(kill=0.6, hang=0.6)
+
+    def test_parse_round_trip(self):
+        cfg = ChaosConfig.parse(
+            "seed=7,kill=0.2,kill-mid-write=0.05,hang=0.1,delay_s=0.01"
+        )
+        assert cfg.seed == 7
+        assert cfg.kill == 0.2
+        assert cfg.kill_mid_write == 0.05
+        assert cfg.hang == 0.1
+        assert cfg.delay_s == 0.01
+        assert ChaosConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(ValueError, match="key=value"):
+            ChaosConfig.parse("kill")
+        with pytest.raises(ValueError, match="unknown"):
+            ChaosConfig.parse("frobnicate=1")
+
+    def test_chaos_attempts_validated(self):
+        with pytest.raises(ValueError, match="chaos_attempts"):
+            ChaosConfig(chaos_attempts=0)
+
+
+class TestChaosInjector:
+    def test_deterministic_across_instances(self):
+        cfg = ChaosConfig(seed=42, kill=0.3, hang=0.3, delay=0.3)
+        keys = [f"t/{i}" for i in range(50)]
+        a = ChaosInjector(cfg).plan(keys)
+        b = ChaosInjector(cfg).plan(keys)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        keys = [f"t/{i}" for i in range(100)]
+        a = ChaosInjector(ChaosConfig(seed=1, kill=0.5)).plan(keys)
+        b = ChaosInjector(ChaosConfig(seed=2, kill=0.5)).plan(keys)
+        assert a != b
+
+    def test_order_independent(self):
+        inj = ChaosInjector(ChaosConfig(seed=9, kill=0.4, freeze=0.4))
+        first = inj.action_for("x", 0)
+        for i in range(20):
+            inj.action_for(f"other/{i}", 0)
+        assert inj.action_for("x", 0) == first
+
+    def test_attempts_past_budget_are_unharmed(self):
+        inj = ChaosInjector(ChaosConfig(seed=0, kill=1.0, chaos_attempts=1))
+        assert inj.action_for("k", 0) == {"action": "kill"}
+        assert inj.action_for("k", 1) is None
+        assert inj.action_for("k", 5) is None
+
+    def test_full_fraction_always_fires(self):
+        inj = ChaosInjector(ChaosConfig(seed=3, delay=1.0, delay_s=0.5))
+        for i in range(20):
+            action = inj.action_for(f"k/{i}", 0)
+            assert action == {"action": "delay", "delay_s": 0.5}
+
+    def test_fractions_roughly_respected(self):
+        inj = ChaosInjector(ChaosConfig(seed=11, kill=0.5))
+        n = 400
+        fired = sum(
+            1 for i in range(n) if inj.action_for(f"k/{i}", 0) is not None
+        )
+        assert 0.35 * n < fired < 0.65 * n
+
+    def test_all_actions_reachable(self):
+        frac = 1.0 / len(CHAOS_ACTIONS)
+        cfg = ChaosConfig(
+            seed=5,
+            **{a.replace("-", "_"): frac for a in CHAOS_ACTIONS},
+        )
+        inj = ChaosInjector(cfg)
+        seen = {
+            (inj.action_for(f"k/{i}", 0) or {}).get("action")
+            for i in range(300)
+        }
+        assert set(CHAOS_ACTIONS) <= seen

@@ -1,0 +1,188 @@
+"""Durability under SIGKILL: shards are never corrupt, merges never lie.
+
+The central claim: a worker SIGKILLed at *any* instant — including
+between the temp-file fsync and the atomic rename — leaves either no
+shard or a complete valid shard, never a truncated hybrid; and a
+resumed sweep heals every gap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exp.fabric import (
+    ChaosConfig,
+    FabricConfig,
+    FabricError,
+    SweepFabric,
+    TaskSpec,
+    demo_specs,
+    load_shard,
+    merge_shards,
+    results_equivalent,
+    write_sweep,
+)
+
+SRC = Path(__file__).resolve().parents[3] / "src"
+
+# A real process that SIGKILLs itself mid-write, driven as a subprocess
+# so the kill is genuine (no monkeypatched os.replace).
+_KILLER = """
+import os, signal, sys
+from repro.exp.fabric.io import atomic_write_json
+
+target = sys.argv[1]
+when = sys.argv[2]  # "mid" or "after"
+
+def die():
+    os.kill(os.getpid(), signal.SIGKILL)
+
+if when == "mid":
+    atomic_write_json(target, {"v": "new"}, before_replace=die)
+else:
+    atomic_write_json(target, {"v": "new"})
+    die()
+"""
+
+
+def _run_killer(target: Path, when: str) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _KILLER, str(target), when],
+        env=env,
+        capture_output=True,
+        timeout=60,
+    )
+    return proc.returncode
+
+
+class TestAtomicWriteUnderSigkill:
+    def test_kill_mid_write_leaves_no_target(self, tmp_path):
+        target = tmp_path / "shard.json"
+        rc = _run_killer(target, "mid")
+        assert rc == -signal.SIGKILL
+        assert not target.exists()
+
+    def test_kill_mid_write_preserves_old_content(self, tmp_path):
+        target = tmp_path / "shard.json"
+        target.write_text(json.dumps({"v": "old"}))
+        rc = _run_killer(target, "mid")
+        assert rc == -signal.SIGKILL
+        # The old file is byte-for-byte intact — never truncated.
+        assert json.loads(target.read_text()) == {"v": "old"}
+
+    def test_kill_after_write_leaves_complete_file(self, tmp_path):
+        target = tmp_path / "shard.json"
+        rc = _run_killer(target, "after")
+        assert rc == -signal.SIGKILL
+        assert json.loads(target.read_text()) == {"v": "new"}
+
+
+class TestFabricDurability:
+    def test_every_first_write_killed_still_converges(self, tmp_path):
+        # 100% kill-mid-write on attempt 0: every task's first shard
+        # write dies between fsync and rename.  Retries must yield a
+        # complete, valid, payload-correct merge.
+        specs = demo_specs(6, work=2)
+        chaos_dir = tmp_path / "chaos"
+        clean_dir = tmp_path / "clean"
+        write_sweep(chaos_dir, specs)
+        write_sweep(clean_dir, specs)
+        clean = SweepFabric(
+            clean_dir, config=FabricConfig(workers=2, backoff_base_s=0.01)
+        ).run()
+        assert clean.ok
+        report = SweepFabric(
+            chaos_dir,
+            config=FabricConfig(
+                workers=2,
+                max_retries=2,
+                backoff_base_s=0.01,
+                chaos=ChaosConfig(seed=5, kill_mid_write=1.0),
+            ),
+        ).run()
+        assert report.ok, report.statuses
+        assert report.worker_restarts >= 6
+        merged = merge_shards(chaos_dir)
+        assert merged.complete
+        assert results_equivalent(merged.rows, merge_shards(clean_dir).rows)
+
+    def test_kill_during_write_then_resume(self, tmp_path):
+        # Kill-mid-write with zero retries: the run ends with a failure
+        # shard; a proper resume re-runs it (chaos only hits attempt 0
+        # of the *first* run's dispatch — the resumed run's attempt 0
+        # re-rolls the same schedule, so use chaos only on run 1).
+        write_sweep(
+            tmp_path, [TaskSpec(key="t", kind="demo", params={"work": 2})]
+        )
+        r1 = SweepFabric(
+            tmp_path,
+            config=FabricConfig(
+                workers=1,
+                max_retries=0,
+                backoff_base_s=0.01,
+                chaos=ChaosConfig(seed=5, kill_mid_write=1.0),
+            ),
+        ).run()
+        assert r1.statuses["t"] == "failed"
+        shard = load_shard(tmp_path, "t")
+        assert shard is not None  # supervisor wrote a structured failure
+        assert shard["status"] == "failed"
+        r2 = SweepFabric(
+            tmp_path, config=FabricConfig(workers=1, backoff_base_s=0.01)
+        ).run(resume=True)
+        assert r2.statuses["t"] == "ok"
+        assert merge_shards(tmp_path).complete
+
+
+class TestMergeTolerance:
+    def test_strict_merge_raises_on_corrupt_shard(self, tmp_path):
+        specs = demo_specs(3, work=2)
+        write_sweep(tmp_path, specs)
+        SweepFabric(
+            tmp_path, config=FabricConfig(workers=1, backoff_base_s=0.01)
+        ).run()
+        layout = SweepFabric(tmp_path).layout
+        shard_path = layout.shard_path("demo/0001")
+        shard_path.write_text(shard_path.read_text()[:20])
+        with pytest.raises(FabricError, match="unreadable"):
+            merge_shards(tmp_path, strict=True)
+
+    def test_lenient_merge_reports_gaps(self, tmp_path):
+        specs = demo_specs(3, work=2)
+        write_sweep(tmp_path, specs)
+        SweepFabric(
+            tmp_path, config=FabricConfig(workers=1, backoff_base_s=0.01)
+        ).run()
+        layout = SweepFabric(tmp_path).layout
+        layout.shard_path("demo/0000").unlink()
+        corrupt = layout.shard_path("demo/0001")
+        corrupt.write_text("{broken")
+        merged = merge_shards(tmp_path, strict=False, write=False)
+        assert merged.missing == ["demo/0000"]
+        assert merged.corrupt == ["demo/0001"]
+        assert len(merged.rows) == 1
+        assert not merged.complete
+
+    def test_resume_heals_corrupt_shard(self, tmp_path):
+        specs = demo_specs(2, work=2)
+        write_sweep(tmp_path, specs)
+        SweepFabric(
+            tmp_path, config=FabricConfig(workers=1, backoff_base_s=0.01)
+        ).run()
+        layout = SweepFabric(tmp_path).layout
+        layout.shard_path("demo/0000").write_text("{broken")
+        r = SweepFabric(
+            tmp_path, config=FabricConfig(workers=1, backoff_base_s=0.01)
+        ).run(resume=True)
+        assert r.ok
+        assert r.adopted == 1  # only the intact shard was adopted
+        assert merge_shards(tmp_path).complete

@@ -1,0 +1,195 @@
+"""Sweep layout: specs, shards, manifests, and atomic IO."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exp.fabric import (
+    FabricError,
+    SweepLayout,
+    TaskSpec,
+    load_manifest,
+    load_shard,
+    load_spec,
+    write_shard,
+    write_sweep,
+)
+from repro.exp.fabric.io import atomic_write_json, read_json, sweep_stale_tmp
+
+
+class TestTaskSpec:
+    def test_round_trip(self):
+        spec = TaskSpec(
+            key="a/b", kind="demo", params={"x": 1},
+            degraded_params={"x": 0},
+        )
+        again = TaskSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_effective_params_merges_degraded(self):
+        spec = TaskSpec(
+            key="k", kind="demo", params={"x": 1, "y": 2},
+            degraded_params={"x": 0},
+        )
+        assert spec.effective_params() == {"x": 1, "y": 2}
+        assert spec.effective_params(degraded=True) == {"x": 0, "y": 2}
+
+    def test_no_degraded_params_is_identity(self):
+        spec = TaskSpec(key="k", kind="demo", params={"x": 1})
+        assert spec.effective_params(degraded=True) == {"x": 1}
+
+    def test_rejects_empty_key_and_kind(self):
+        with pytest.raises(ValueError):
+            TaskSpec(key="", kind="demo")
+        with pytest.raises(ValueError):
+            TaskSpec(key="k", kind="")
+
+    def test_from_dict_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="format"):
+            TaskSpec.from_dict({"format": "nope", "key": "k", "kind": "demo"})
+
+
+class TestSweepLayout:
+    def test_keys_with_slashes_stay_flat(self, tmp_path):
+        layout = SweepLayout(tmp_path)
+        p = layout.spec_path("fig7/LU/n64/greedy/s0")
+        assert p.parent == layout.specs_dir  # no nested directories
+        assert "/" not in p.name.replace("%2F", "")
+
+    def test_distinct_keys_distinct_files(self, tmp_path):
+        layout = SweepLayout(tmp_path)
+        keys = ["a/b", "a%2Fb", "a b", "a+b", "a.b", "a"]
+        paths = {layout.spec_path(k) for k in keys}
+        assert len(paths) == len(keys)
+
+
+class TestWriteSweep:
+    def test_round_trip(self, tmp_path):
+        specs = [
+            TaskSpec(key=f"t/{i}", kind="demo", params={"i": i})
+            for i in range(4)
+        ]
+        write_sweep(tmp_path, specs)
+        assert load_manifest(tmp_path) == [s.key for s in specs]
+        assert load_spec(tmp_path, "t/2").params == {"i": 2}
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        specs = [TaskSpec(key="x", kind="demo")] * 2
+        with pytest.raises(FabricError, match="duplicate"):
+            write_sweep(tmp_path, specs)
+
+    def test_empty_sweep_rejected(self, tmp_path):
+        with pytest.raises(FabricError, match="at least one"):
+            write_sweep(tmp_path, [])
+
+    def test_existing_manifest_needs_overwrite(self, tmp_path):
+        specs = [TaskSpec(key="x", kind="demo")]
+        write_sweep(tmp_path, specs)
+        with pytest.raises(FabricError, match="already exists"):
+            write_sweep(tmp_path, specs)
+        write_sweep(tmp_path, specs, overwrite=True)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FabricError, match="initialize"):
+            load_manifest(tmp_path)
+
+    def test_spec_key_mismatch_detected(self, tmp_path):
+        write_sweep(tmp_path, [TaskSpec(key="good", kind="demo")])
+        layout = SweepLayout(tmp_path)
+        data = json.loads(layout.spec_path("good").read_text())
+        data["key"] = "evil"
+        layout.spec_path("good").write_text(json.dumps(data))
+        with pytest.raises(FabricError, match="claims key"):
+            load_spec(tmp_path, "good")
+
+
+class TestShards:
+    def test_round_trip(self, tmp_path):
+        write_shard(
+            tmp_path, "k", status="ok", result={"v": 1}, error=None,
+            attempts=2, elapsed_s=0.5, worker="w0-0",
+        )
+        shard = load_shard(tmp_path, "k")
+        assert shard["status"] == "ok"
+        assert shard["result"] == {"v": 1}
+        assert shard["attempts"] == 2
+        assert shard["degraded"] is False
+
+    def test_invalid_status_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="status"):
+            write_shard(
+                tmp_path, "k", status="meh", result=None, error=None,
+                attempts=1, elapsed_s=0.0, worker="w",
+            )
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(format="nope"),
+            lambda d: d.update(key="other"),
+            lambda d: d.update(status="weird"),
+        ],
+    )
+    def test_tampered_shard_reads_as_absent(self, tmp_path, mutate):
+        path = write_shard(
+            tmp_path, "k", status="ok", result=None, error=None,
+            attempts=1, elapsed_s=0.0, worker="w",
+        )
+        data = json.loads(path.read_text())
+        mutate(data)
+        path.write_text(json.dumps(data))
+        assert load_shard(tmp_path, "k") is None
+
+    def test_truncated_shard_reads_as_absent(self, tmp_path):
+        path = write_shard(
+            tmp_path, "k", status="ok", result=None, error=None,
+            attempts=1, elapsed_s=0.0, worker="w",
+        )
+        path.write_text(path.read_text()[:10])
+        assert load_shard(tmp_path, "k") is None
+
+
+class TestAtomicIO:
+    def test_write_and_read(self, tmp_path):
+        p = tmp_path / "f.json"
+        atomic_write_json(p, {"a": 1})
+        assert read_json(p) == {"a": 1}
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        p = tmp_path / "f.json"
+        atomic_write_json(p, {"v": 1})
+        atomic_write_json(p, {"v": 2})
+        assert read_json(p) == {"v": 2}
+
+    def test_before_replace_runs_between_sync_and_rename(self, tmp_path):
+        p = tmp_path / "f.json"
+        seen = {}
+
+        def probe():
+            # At hook time the temp file exists but the target does not.
+            seen["target_exists"] = p.exists()
+            seen["tmp_files"] = [
+                f for f in os.listdir(tmp_path) if f.endswith(".tmp")
+            ]
+
+        atomic_write_json(p, {"v": 1}, before_replace=probe)
+        assert seen["target_exists"] is False
+        assert len(seen["tmp_files"]) == 1
+        assert read_json(p) == {"v": 1}
+
+    def test_read_json_tolerates_missing_and_corrupt(self, tmp_path):
+        assert read_json(tmp_path / "nope.json") is None
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        assert read_json(p) is None
+
+    def test_sweep_stale_tmp(self, tmp_path):
+        (tmp_path / "orphan.json.tmp").write_text("x")
+        (tmp_path / "keep.json").write_text("{}")
+        removed = sweep_stale_tmp(tmp_path)
+        assert removed == 1
+        assert not (tmp_path / "orphan.json.tmp").exists()
+        assert (tmp_path / "keep.json").exists()

@@ -318,3 +318,66 @@ def test_bench_check_rejects_bad_baseline(tmp_path, capsys):
     rc = main(["bench-check", "--baseline", str(bad), "--current", str(ok)])
     assert rc == 2
     assert "error: baseline" in capsys.readouterr().err
+
+
+def test_sweep_demo_end_to_end(tmp_path, capsys):
+    d = str(tmp_path / "sweep")
+    rc = main(
+        ["sweep", "--sweep-dir", d, "--grid", "demo", "--tasks", "6",
+         "--workers", "2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "initialized sweep: 6 specs" in out
+    assert "ok=6" in out
+    assert "merge: 6 rows" in out
+    assert (tmp_path / "sweep" / "result.json").exists()
+
+
+def test_sweep_requires_grid_for_empty_dir(tmp_path, capsys):
+    rc = main(["sweep", "--sweep-dir", str(tmp_path / "empty")])
+    assert rc == 2
+    assert "--grid" in capsys.readouterr().err
+
+
+def test_sweep_chaos_verify_against_clean(tmp_path, capsys):
+    clean = str(tmp_path / "clean")
+    chaos = str(tmp_path / "chaos")
+    assert main(
+        ["sweep", "--sweep-dir", clean, "--grid", "demo", "--tasks", "6",
+         "--workers", "2"]
+    ) == 0
+    rc = main(
+        ["sweep", "--sweep-dir", chaos, "--grid", "demo", "--tasks", "6",
+         "--workers", "2", "--timeout-s", "10",
+         "--chaos", "seed=7,kill=0.3,kill-mid-write=0.2",
+         "--verify-against", clean]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ok=6" in out
+    assert "verified: payload-identical" in out
+
+
+def test_sweep_resume_and_merge_only(tmp_path, capsys):
+    d = str(tmp_path / "sweep")
+    assert main(
+        ["sweep", "--sweep-dir", d, "--grid", "demo", "--tasks", "4",
+         "--workers", "2"]
+    ) == 0
+    capsys.readouterr()
+    # resume over a finished sweep: everything adopted, still ok
+    assert main(["sweep", "--sweep-dir", d, "--resume"]) == 0
+    assert "adopted=4" in capsys.readouterr().out
+    # merge-only touches no workers
+    assert main(["sweep", "--sweep-dir", d, "--merge-only"]) == 0
+    assert "merge: 4 rows" in capsys.readouterr().out
+
+
+def test_sweep_rejects_bad_chaos_spec(tmp_path, capsys):
+    rc = main(
+        ["sweep", "--sweep-dir", str(tmp_path / "s"), "--grid", "demo",
+         "--tasks", "2", "--chaos", "frobnicate=1"]
+    )
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
