@@ -64,6 +64,10 @@ class FileContext:
     from_obs: dict[str, str] = field(default_factory=dict)
     #: Enclosing class/function names; maintained by the engine's visitor.
     scope: list[str] = field(default_factory=list)
+    #: Kind of each enclosing *function* (True = ``async def``); also
+    #: maintained by the visitor.  Lambdas push False — their bodies run
+    #: when called, not where they are written.
+    func_kinds: list[bool] = field(default_factory=list)
 
     # ------------------------------------------------------------- location
 
@@ -76,6 +80,11 @@ class FileContext:
     def in_benchmarks(self) -> bool:
         """True for files under a ``benchmarks/`` tree."""
         return "benchmarks" in Path(self.relpath).parts
+
+    @property
+    def in_async(self) -> bool:
+        """True when the nearest enclosing function is an ``async def``."""
+        return bool(self.func_kinds) and self.func_kinds[-1]
 
     @property
     def symbol(self) -> str:

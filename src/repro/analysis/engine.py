@@ -102,8 +102,16 @@ class _Visitor:
         scoped = isinstance(
             node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
         )
+        # Functions (and lambdas) also push their kind so rules can ask
+        # ctx.in_async; a sync def nested in an async def correctly
+        # reports False, and lambda bodies are never "in" their definer.
+        func = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
         if scoped:
             self.ctx.scope.append(getattr(node, "name", "<anon>"))
+        if func:
+            self.ctx.func_kinds.append(isinstance(node, ast.AsyncFunctionDef))
         try:
             self._dispatch(node)
             for child in ast.iter_child_nodes(node):
@@ -111,6 +119,8 @@ class _Visitor:
         finally:
             if scoped:
                 self.ctx.scope.pop()
+            if func:
+                self.ctx.func_kinds.pop()
 
 
 def _relpath(path: Path, root: Path) -> str:

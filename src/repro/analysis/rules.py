@@ -53,6 +53,17 @@ RPR007  no-dense-cg-in-hot-paths
     through the cached CSR views (``cg_csr()``/``ag_csr()``) or operate
     on the stored matrices directly; any genuinely-dense call site must
     be explicitly allowlisted (the allowlist ships empty).
+
+RPR011  no-blocking-call-in-async
+    ``async def`` bodies in ``repro.serve`` must never block the event
+    loop: no ``time.sleep`` (use ``asyncio.sleep``), no synchronous
+    ``open()``/socket I/O/``subprocess``, and no direct solver calls
+    (``.map()`` / ``.repair()`` — route them through the engine's
+    executor).  One stalled handler freezes every connection the daemon
+    is serving; the baseline stays empty by construction.
+
+(RPR008-010 are project-pass rules over the call graph; see
+:mod:`repro.analysis.graph_rules`.)
 """
 
 from __future__ import annotations
@@ -74,6 +85,7 @@ __all__ = [
     "NoWallClockRule",
     "NoDirectSpanConstructionRule",
     "NoDenseCgInHotPathsRule",
+    "NoBlockingCallInAsyncRule",
     "ALL_RULES",
     "default_rules",
 ]
@@ -559,6 +571,77 @@ class NoDenseCgInHotPathsRule(Rule):
         )
 
 
+# --------------------------------------------------------------------- RPR011
+
+#: Socket/file methods that block the calling thread until I/O completes.
+_BLOCKING_IO_METHODS = frozenset(
+    {"recv", "recvfrom", "recv_into", "accept", "connect", "sendall"}
+)
+
+#: Solver entry points that must run on the executor, never the loop.
+_SOLVER_METHODS = frozenset({"map", "repair"})
+
+
+class NoBlockingCallInAsyncRule(Rule):
+    """RPR011: ``async def`` bodies in repro.serve must never block."""
+
+    id = "RPR011"
+    name = "no-blocking-call-in-async"
+    rationale = (
+        "a blocking call in an async handler stalls the whole event loop — "
+        "every connection the daemon is serving, not just the offender; "
+        "sleep with asyncio.sleep, do I/O through the stream APIs, and run "
+        "solvers on the executor"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_src and "serve" in Path(ctx.relpath).parts
+
+    def _blocking_reason(self, call: ast.Call, ctx: FileContext) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "synchronous open() blocks the event loop; do file I/O off-loop"
+            if ctx.from_time.get(func.id) == "sleep":
+                return "time.sleep() stalls the event loop; use asyncio.sleep()"
+            return None
+        parts = ctx.dotted_parts(func)
+        if parts is not None:
+            if (
+                len(parts) == 2
+                and parts[0] in ctx.time_aliases
+                and parts[1] == "sleep"
+            ):
+                return "time.sleep() stalls the event loop; use asyncio.sleep()"
+            if parts[0] == "subprocess":
+                return (
+                    f"{'.'.join(parts)}() blocks on the child process; use "
+                    "asyncio.create_subprocess_exec()"
+                )
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SOLVER_METHODS:
+                return (
+                    f"direct solver call .{func.attr}() on the event loop; "
+                    "route the solve through the engine's executor"
+                )
+            if func.attr in _BLOCKING_IO_METHODS:
+                return (
+                    f"blocking socket call .{func.attr}() in an async body; "
+                    "use the asyncio stream APIs"
+                )
+        return None
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_async:
+            return
+        call = node
+        assert isinstance(call, ast.Call)  # repro-lint: disable=RPR004
+        reason = self._blocking_reason(call, ctx)
+        if reason is not None:
+            yield self.finding(call, ctx, reason)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     NoLegacyRngRule,
     NoFrozenViewRule,
@@ -567,6 +650,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoWallClockRule,
     NoDirectSpanConstructionRule,
     NoDenseCgInHotPathsRule,
+    NoBlockingCallInAsyncRule,
 )
 
 

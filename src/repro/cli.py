@@ -141,6 +141,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(map: instead of --mapper; compare: as an extra column) — "
         "the scalable choice for large N",
     )
+    app_common.add_argument(
+        "--remote",
+        default=None,
+        metavar="SOCKET",
+        help="send the solve to a placement daemon on this unix socket "
+        "(start one with `repro serve`) instead of solving in-process",
+    )
 
     p_map = sub.add_parser("map", parents=[app_common], help="map with one algorithm")
     p_map.add_argument(
@@ -420,6 +427,52 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="OUT",
         help="concatenate per-worker span files into one trace JSON",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived placement daemon (mapping-as-a-service)",
+    )
+    p_serve.add_argument(
+        "--socket",
+        default="placement.sock",
+        help="unix socket path to listen on (default: ./placement.sock)",
+    )
+    p_serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve HTTP on 127.0.0.1:PORT (/health, /metrics, /v1/<op>)",
+    )
+    p_serve.add_argument(
+        "--pool-workers", type=int, default=2, help="solver process pool size"
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="pending-request bound before 429 backpressure",
+    )
+    p_serve.add_argument(
+        "--batch-max", type=int, default=4, help="max solves per pool dispatch"
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=256, help="result cache entries (0 disables)"
+    )
+    p_serve.add_argument(
+        "--degrade-at",
+        type=int,
+        default=None,
+        metavar="PENDING",
+        help="pending depth at which requests step down the mapper ladder",
+    )
+    p_serve.add_argument(
+        "--degrade-hard-at",
+        type=int,
+        default=None,
+        metavar="PENDING",
+        help="pending depth at which requests drop straight to Greedy",
+    )
     return parser
 
 
@@ -455,13 +508,38 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _remote_map(args, problem, mapper_name: str) -> int:
+    from .serve.client import PlacementClient, RemoteError
+
+    try:
+        with PlacementClient(args.remote) as client:
+            reply = client.map(problem, mapper=mapper_name, seed=args.seed)
+    except (OSError, RemoteError) as exc:
+        print(f"error: placement daemon at {args.remote}: {exc}", file=sys.stderr)
+        return 1
+    result = reply["result"]
+    flags = ", ".join(
+        name for name in ("cache_hit", "coalesced", "degraded") if reply.get(name)
+    )
+    print(
+        f"{args.app} mapped remotely by {reply['mapper']}: "
+        f"cost={result['cost']:.3f}, overhead={result['elapsed_s'] * 1e3:.1f} ms"
+        + (f" [{flags}]" if flags else "")
+    )
+    print(f"assignment: {result['assignment']}")
+    return 0
+
+
 def _cmd_map(args) -> int:
     topo = _topology(args)
     app = make_paper_app(args.app, topo.total_nodes)
     problem = build_problem(
         app, topo, constraint_ratio=args.constraint_ratio, seed=args.seed
     )
-    mapper = get_mapper("multilevel" if args.multilevel else args.mapper)
+    mapper_name = "multilevel" if args.multilevel else args.mapper
+    if args.remote:
+        return _remote_map(args, problem, mapper_name)
+    mapper = get_mapper(mapper_name)
     mapping = mapper.map(problem, seed=args.seed)
     print(
         f"{args.app} ({app.num_ranks} processes) mapped by {mapping.mapper}: "
@@ -476,12 +554,41 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _remote_compare(args, problem, names: list[str]) -> int:
+    from .serve.client import PlacementClient, RemoteError
+
+    try:
+        with PlacementClient(args.remote) as client:
+            reply = client.compare(problem, names, seed=args.seed)
+    except (OSError, RemoteError) as exc:
+        print(f"error: placement daemon at {args.remote}: {exc}", file=sys.stderr)
+        return 1
+    rows = [
+        [name, wire["cost"], wire["elapsed_s"] * 1e3]
+        for name, wire in reply["result"]["mappings"].items()
+    ]
+    print(
+        format_table(
+            ["mapper", "comm cost", "overhead ms"],
+            rows,
+            title=f"{args.app} via daemon at {args.remote}"
+            + (" [cache hit]" if reply.get("cache_hit") else ""),
+        )
+    )
+    return 0
+
+
 def _cmd_compare(args) -> int:
     topo = _topology(args)
     app = make_paper_app(args.app, topo.total_nodes)
     problem = build_problem(
         app, topo, constraint_ratio=args.constraint_ratio, seed=args.seed
     )
+    if args.remote:
+        names = ["baseline", "greedy", "geo-distributed"]
+        if args.multilevel:
+            names.append("multilevel")
+        return _remote_compare(args, problem, names)
     mappers = default_mappers()
     if args.multilevel:
         mappers["Multilevel"] = get_mapper("multilevel")
@@ -852,6 +959,26 @@ def _cmd_sweep(args) -> int:
     return code
 
 
+def _cmd_serve(args) -> int:
+    from .serve.daemon import run as run_daemon
+    from .serve.engine import EngineConfig
+
+    config = EngineConfig(
+        pool_workers=args.pool_workers,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        cache_size=args.cache_size,
+        degrade_at=args.degrade_at,
+        degrade_hard_at=args.degrade_hard_at,
+    )
+    where = f"unix://{args.socket}"
+    if args.http_port is not None:
+        where += f" and http://127.0.0.1:{args.http_port}"
+    print(f"placement daemon listening on {where}", file=sys.stderr)
+    run_daemon(args.socket, http_port=args.http_port, config=config)
+    return 0
+
+
 _COMMANDS = {
     "regions": _cmd_regions,
     "calibrate": _cmd_calibrate,
@@ -864,6 +991,7 @@ _COMMANDS = {
     "trace-export": _cmd_trace_export,
     "bench-check": _cmd_bench_check,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
 }
 
 

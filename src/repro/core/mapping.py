@@ -18,6 +18,7 @@ metadata alongside the assignment; it lands in :attr:`Mapping.meta`.
 from __future__ import annotations
 
 import abc
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -35,6 +36,8 @@ __all__ = [
     "register_mapper",
     "get_mapper",
     "available_mappers",
+    "warm_mapper",
+    "clear_warm_mappers",
 ]
 
 #: What :meth:`Mapper._solve` may return: a bare (N,) assignment, or the
@@ -247,3 +250,39 @@ def get_mapper(name: str, **kwargs) -> Mapper:
 def available_mappers() -> list[str]:
     """Names of all registered mappers."""
     return sorted(_REGISTRY)
+
+
+_WARM_MAPPERS: dict[tuple, Mapper] = {}
+_WARM_LOCK = threading.Lock()
+
+
+def warm_mapper(name: str, **kwargs) -> Mapper:
+    """A process-wide memoized mapper instance for ``(name, kwargs)``.
+
+    Mapper construction and solving are separable: instances hold only
+    configuration (``kappa``, refinement rounds, ...) and :meth:`Mapper.map`
+    is reentrant, so one instance can serve any number of problems.  Long-
+    lived callers — the placement daemon's pool workers above all — use
+    this to keep solver state warm across requests instead of paying
+    registry lookup + construction per request.
+
+    ``kwargs`` must be hashable (the registry kwargs all are: ints,
+    floats, strings); unhashable values fall back to an uncached
+    :func:`get_mapper` construction.
+    """
+    try:
+        key = (name, tuple(sorted(kwargs.items())))
+        hash(key)
+    except TypeError:
+        return get_mapper(name, **kwargs)
+    with _WARM_LOCK:
+        mapper = _WARM_MAPPERS.get(key)
+        if mapper is None:
+            mapper = _WARM_MAPPERS[key] = get_mapper(name, **kwargs)
+        return mapper
+
+
+def clear_warm_mappers() -> None:
+    """Drop every memoized :func:`warm_mapper` instance (tests, reloads)."""
+    with _WARM_LOCK:
+        _WARM_MAPPERS.clear()

@@ -17,6 +17,7 @@ sites are 0-indexed and an *unconstrained* process has ``C[i] == -1``
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -370,6 +371,59 @@ class MappingProblem:
     def ag_csr(self) -> CSRArrays:
         """Cached CSR triplet view of AG (sparse problems only)."""
         return self._csr_view("AG")
+
+    def fingerprint(self) -> str:
+        """Canonical content fingerprint of the problem (hex SHA-256).
+
+        Two problems with the same CG/AG/LT/BT/capacities/constraints/
+        coordinates content fingerprint identically regardless of how
+        they were built: dense and sparse comm matrices hash through the
+        same canonical CSR form (``_check_comm_matrix`` already sorts
+        indices and merges duplicates for sparse input, and dense input
+        is converted once here), and index arrays are canonicalized to
+        int64 so scipy's int32/int64 choice cannot split the key.
+
+        This is the identity the serving layer (:mod:`repro.serve`) keys
+        its result cache and request coalescing on, so it must be a pure
+        function of the problem *content* — never of object identity,
+        construction order, or storage format.  The digest is computed
+        once and cached on the instance (the arrays are frozen, so it
+        cannot go stale).
+        """
+        cache: dict[str, object] = object.__getattribute__(self, "_csr_cache")
+        cached = cache.get("__fingerprint__")
+        if isinstance(cached, str):
+            return cached
+        h = hashlib.sha256(b"repro.MappingProblem.v1")
+
+        def update(tag: str, arr: np.ndarray, dtype: type) -> None:
+            a = np.ascontiguousarray(arr, dtype=dtype)
+            h.update(f"{tag}:{a.shape}:".encode())
+            h.update(a.tobytes())
+
+        for name in ("CG", "AG"):
+            mat = getattr(self, name)
+            if sp.issparse(mat):
+                view = self.cg_csr() if name == "CG" else self.ag_csr()
+                indptr, indices, data = view.indptr, view.indices, view.data
+            else:
+                csr = sp.csr_matrix(mat)
+                indptr, indices, data = csr.indptr, csr.indices, csr.data
+            h.update(f"{name}:{mat.shape}:".encode())
+            update(f"{name}.indptr", indptr, np.int64)
+            update(f"{name}.indices", indices, np.int64)
+            update(f"{name}.data", data, np.float64)
+        update("LT", self.LT, np.float64)
+        update("BT", self.BT, np.float64)
+        update("capacities", self.capacities, np.int64)
+        update("constraints", self.constraints, np.int64)
+        if self.coordinates is None:
+            h.update(b"coordinates:none")
+        else:
+            update("coordinates", self.coordinates, np.float64)
+        digest = h.hexdigest()
+        cache["__fingerprint__"] = digest
+        return digest
 
     def with_constraints(self, constraints: np.ndarray | None) -> "MappingProblem":
         """Copy of the problem with a different constraint vector."""

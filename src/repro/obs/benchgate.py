@@ -59,6 +59,7 @@ QUICK_BENCH_SCRIPTS: tuple[str, ...] = (
     "bench_multilevel.py",
     "bench_lint.py",
     "bench_fabric.py",
+    "bench_serve.py",
 )
 
 #: ``(bench, n, m)`` — stable across machines, unlike hostnames or paths.

@@ -25,6 +25,23 @@ or rendered in the Prometheus text exposition format.
 
 Zero dependencies (stdlib only) and ``mypy --strict`` clean, like the
 rest of :mod:`repro.obs`.
+
+Concurrency contract
+--------------------
+A :class:`MetricsRegistry` and every family it creates share one lock,
+so **mutation and reads are thread-safe** — asyncio handler tasks,
+worker threads, and executor *callbacks* may hit the same registry
+freely.  What is **not** shared automatically is the *ambient* registry:
+``_METRICS`` is a :class:`~contextvars.ContextVar`.  Asyncio tasks copy
+the creating context, so a registry installed before tasks spawn is
+visible inside them — but threads started by hand and
+``ThreadPoolExecutor``/``ProcessPoolExecutor`` workers begin with a
+*fresh* context (and pool *processes* with a fresh interpreter), so
+:func:`get_metrics` there returns :data:`NULL_METRICS` and samples are
+silently dropped.  Code fanning out to a pool must either capture the
+registry object and pass it explicitly (what the placement daemon's
+engine does) or wrap each task in :func:`contextvars.copy_context`.
+``tests/obs/test_concurrency.py`` pins both behaviors.
 """
 
 from __future__ import annotations
@@ -117,7 +134,8 @@ class Counter:
 
     def value(self, **labels: object) -> float:
         """Current value of one labeled series (0.0 if never bumped)."""
-        return self._values.get(labelset(labels), 0.0)
+        with self._lock:
+            return self._values.get(labelset(labels), 0.0)
 
     def total(self) -> float:
         """Sum over every label set."""
@@ -154,7 +172,8 @@ class Gauge:
 
     def value(self, **labels: object) -> float:
         """Current value of one labeled series (0.0 if never set)."""
-        return self._values.get(labelset(labels), 0.0)
+        with self._lock:
+            return self._values.get(labelset(labels), 0.0)
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,15 @@ that fans work out to a pool should run each task under
 does) if it wants child spans parented correctly.  :class:`SpanRecorder`
 serializes tree mutation with a lock, so worker-thread spans are safe
 either way.
+
+Asyncio gets this right by construction: each task copies the context it
+was created in, so concurrent handler tasks opening spans see their own
+``_CURRENT_SPAN`` and build disjoint trees on the shared recorder — the
+placement daemon leans on exactly this.  Executor callbacks are the trap
+(fresh context → :data:`NULL_RECORDER`); hold the recorder object if you
+need it there.  Long-lived processes should also bound the forest with
+:meth:`SpanRecorder.trim` — roots otherwise accumulate for the life of
+the recorder.
 """
 
 from __future__ import annotations
@@ -199,6 +208,22 @@ class SpanRecorder:
 
     def span(self, name: str, **attrs: JSONValue) -> _OpenSpan:
         return _OpenSpan(self, Span(name=name, attrs=dict(attrs)))
+
+    def trim(self, keep: int) -> int:
+        """Drop the oldest root spans beyond ``keep``; returns how many.
+
+        Long-lived processes (the placement daemon above all) call this
+        after each request so the trace forest stays bounded instead of
+        growing for the recorder's lifetime.
+        """
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        with self._lock:
+            excess = len(self.roots) - keep
+            if excess > 0:
+                del self.roots[:excess]
+                return excess
+        return 0
 
     def counter(self, name: str, value: float = 1) -> None:
         current = _CURRENT_SPAN.get()

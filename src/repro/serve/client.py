@@ -1,0 +1,167 @@
+"""Synchronous client for the placement daemon's unix socket.
+
+:class:`PlacementClient` is what the CLI's ``--remote`` flag, the
+serving benchmark, and the CI smoke test use — a thin blocking wrapper
+that encodes problems, frames line-JSON requests, and raises typed
+errors.  It holds one connection open across calls (the daemon serves
+any number of sequential requests per connection), so a request's cost
+is one socket round trip, not a connect-per-call.
+
+Deliberately synchronous: callers are batch scripts and CLIs, and the
+concurrency interesting to test (coalescing, backpressure) lives on the
+daemon side — tests drive it with one client per thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core import MappingProblem
+from .protocol import encode_problem
+
+__all__ = ["PlacementClient", "RemoteError", "OverloadedRemoteError"]
+
+
+class RemoteError(RuntimeError):
+    """The daemon answered ``ok: false``; carries the HTTP-style code."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class OverloadedRemoteError(RemoteError):
+    """A 429 rejection; ``retry_after_s`` says when to try again."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(429, message)
+        self.retry_after_s = retry_after_s
+
+
+class PlacementClient:
+    """One blocking line-JSON connection to a placement daemon."""
+
+    def __init__(self, socket_path: str, *, timeout: float | None = 60.0) -> None:
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "PlacementClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request, return the full response envelope.
+
+        Raises :class:`OverloadedRemoteError` on 429 and
+        :class:`RemoteError` on any other ``ok: false`` answer.
+        """
+        self._next_id += 1
+        payload = {"op": op, "id": self._next_id, **fields}
+        self._sock.sendall(json.dumps(payload).encode() + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        response = json.loads(line.decode())
+        if not response.get("ok"):
+            code = int(response.get("code", 500))
+            message = str(response.get("error", "unknown error"))
+            if code == 429:
+                raise OverloadedRemoteError(
+                    message, float(response.get("retry_after_s", 0.1))
+                )
+            raise RemoteError(code, message)
+        return response
+
+    @staticmethod
+    def _problem_field(problem: "MappingProblem | dict[str, Any]") -> dict[str, Any]:
+        if isinstance(problem, MappingProblem):
+            return encode_problem(problem)
+        return dict(problem)
+
+    # ----------------------------------------------------------------- ops
+
+    def map(
+        self,
+        problem: "MappingProblem | dict[str, Any]",
+        *,
+        mapper: str | None = None,
+        seed: int = 0,
+        mapper_kwargs: dict[str, Any] | None = None,
+        sleep_s: float = 0.0,
+    ) -> dict[str, Any]:
+        """Solve one placement; returns the full envelope (``result`` has
+        ``assignment``/``cost``, the envelope has ``cache_hit`` /
+        ``coalesced`` / ``degraded`` / ``mapper`` / ``fingerprint``)."""
+        fields: dict[str, Any] = {
+            "problem": self._problem_field(problem),
+            "seed": int(seed),
+        }
+        if mapper is not None:
+            fields["mapper"] = mapper
+        if mapper_kwargs:
+            fields["mapper_kwargs"] = dict(mapper_kwargs)
+        if sleep_s > 0:
+            fields["sleep_s"] = float(sleep_s)
+        return self.request("map", **fields)
+
+    def repair(
+        self,
+        problem: "MappingProblem | dict[str, Any]",
+        partial: "Sequence[int] | np.ndarray",
+        *,
+        refine_rounds: int = 2,
+        extra_moves: int = 0,
+    ) -> dict[str, Any]:
+        """Repair a partial assignment (see :func:`repro.core.repair_mapping`)."""
+        return self.request(
+            "repair",
+            problem=self._problem_field(problem),
+            partial=[int(p) for p in np.asarray(partial).tolist()],
+            refine_rounds=int(refine_rounds),
+            extra_moves=int(extra_moves),
+        )
+
+    def compare(
+        self,
+        problem: "MappingProblem | dict[str, Any]",
+        mappers: Sequence[str],
+        *,
+        seed: int = 0,
+    ) -> dict[str, Any]:
+        """Run several mappers on one problem in a single request."""
+        return self.request(
+            "compare",
+            problem=self._problem_field(problem),
+            mappers=[str(m) for m in mappers],
+            seed=int(seed),
+        )
+
+    def health(self) -> dict[str, Any]:
+        return self.request("health")["result"]
+
+    def metrics(self) -> dict[str, Any]:
+        """The daemon's metrics: ``{"prometheus": str, "json": dict}``."""
+        return self.request("metrics")["result"]
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the daemon to stop (it still answers this request)."""
+        return self.request("shutdown")

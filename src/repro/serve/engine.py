@@ -1,0 +1,501 @@
+"""The placement engine: caching, coalescing, batching, degradation.
+
+:class:`PlacementEngine` is the transport-independent middle of the
+daemon — both the unix-socket and HTTP front ends feed decoded request
+dicts into :meth:`PlacementEngine.handle` and write back whatever dict
+it returns.  The engine owns every serving policy:
+
+* **Result cache** — a fingerprint-keyed LRU (:class:`.cache.ResultCache`);
+  a repeat request never reaches the pool.
+* **Coalescing** — identical in-flight requests (same operation,
+  problem fingerprint, effective mapper, seed) share one solve via a
+  single future; only the first occupies a queue slot.
+* **Micro-batching** — work items drain onto a warm
+  ``ProcessPoolExecutor`` in batches of up to ``batch_max``, amortizing
+  executor dispatch; one dispatcher task per pool worker keeps the pool
+  saturated without oversubscribing it.
+* **Backpressure** — at most ``queue_limit`` requests may be in flight;
+  the next one is rejected with a 429-style response carrying a
+  ``retry_after_s`` estimate from an EWMA of recent batch times.
+* **Degradation** — as the queue deepens past ``degrade_at`` the
+  requested geo-distributed mapper is swapped for multilevel, and past
+  ``degrade_hard_at`` any non-Greedy request is served by Greedy.
+  Degraded results are cached under the mapper that *actually* ran, so
+  they can never impersonate full-quality answers later.
+
+Concurrency model: everything above executes on the event loop (single-
+threaded), so the cache, in-flight table, and pending counter need no
+locks.  The engine deliberately holds its :class:`MetricsRegistry` and
+:class:`SpanRecorder` as attributes rather than reading the ambient
+contextvars — executor callbacks and freshly spawned tasks would
+otherwise observe the NULL defaults (see the concurrency notes in
+:mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from ..obs import MetricsRegistry, SpanRecorder
+from .cache import ResultCache
+from .protocol import (
+    OPS,
+    ProtocolError,
+    decode_problem,
+    encode_problem,
+    error_response,
+)
+from .solver import solve_batch
+
+__all__ = ["EngineConfig", "PlacementEngine", "OverloadedError"]
+
+#: The degradation ladder, cheapest last.  A request's mapper is moved
+#: *down* this list (never up) as queue depth crosses the thresholds.
+DEGRADATION_LADDER = ("geo-distributed", "multilevel", "greedy")
+
+
+class OverloadedError(RuntimeError):
+    """Queue full: the request was rejected, retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(f"placement queue full; retry after {retry_after_s:.3f}s")
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Serving policy knobs (the ``repro serve`` CLI flags)."""
+
+    pool_workers: int = 2
+    queue_limit: int = 64
+    batch_max: int = 4
+    cache_size: int = 256
+    #: Queue depth at which geo-distributed requests degrade to multilevel.
+    degrade_at: int | None = None
+    #: Queue depth at which any non-Greedy request degrades to Greedy.
+    degrade_hard_at: int | None = None
+    default_mapper: str = "geo-distributed"
+    #: Keep at most this many request span trees (oldest dropped).
+    span_keep: int = 256
+
+    def __post_init__(self) -> None:
+        if self.pool_workers < 1:
+            raise ValueError(f"pool_workers must be >= 1, got {self.pool_workers}")
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+
+
+@dataclass
+class _WorkItem:
+    key: Hashable
+    kind: str
+    params: dict[str, Any]
+    future: "asyncio.Future[dict[str, Any]]"
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class PlacementEngine:
+    """Transport-independent request broker over a warm process pool."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+        self.cache = ResultCache(self.config.cache_size)
+        self.metrics = MetricsRegistry()
+        self.recorder = SpanRecorder()
+        self._pool: ProcessPoolExecutor | None = None
+        self._queue: "asyncio.Queue[_WorkItem]" = asyncio.Queue()
+        self._dispatchers: list[asyncio.Task[None]] = []
+        self._in_flight: dict[Hashable, asyncio.Future[dict[str, Any]]] = {}
+        self._pending = 0
+        self._ewma_batch_s = 0.05
+        self._started_at = time.monotonic()
+        self._declare_metrics()
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Spin up the pool and one dispatcher task per worker."""
+        if self._pool is not None:
+            return
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.config.pool_workers, initializer=_pool_init
+        )
+        self._started_at = time.monotonic()
+        loop = asyncio.get_running_loop()
+        self._dispatchers = [
+            loop.create_task(self._dispatch_loop(), name=f"serve-dispatch-{i}")
+            for i in range(self.config.pool_workers)
+        ]
+
+    async def stop(self) -> None:
+        """Drain nothing, fail everything pending, shut the pool down."""
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._dispatchers = []
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            self._pending -= 1
+            self._in_flight.pop(item.key, None)
+            if not item.future.done():
+                item.future.set_result(
+                    {"ok": False, "code": 503, "error": "daemon shutting down"}
+                )
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # Blocks until workers exit; run off-loop so the event loop
+            # (which may still be answering health checks) stays live.
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: pool.shutdown(wait=True)
+            )
+
+    @property
+    def pending(self) -> int:
+        """In-flight work items (queued or executing)."""
+        return self._pending
+
+    # ------------------------------------------------------------- metrics
+
+    def _declare_metrics(self) -> None:
+        m = self.metrics
+        m.counter("serve_requests_total", "Requests handled, by op and status.")
+        m.counter("serve_cache_hits_total", "Requests answered from the LRU cache.")
+        m.counter("serve_coalesced_total", "Requests that joined an in-flight solve.")
+        m.counter("serve_rejected_total", "Requests rejected with 429 backpressure.")
+        m.counter(
+            "serve_degraded_total",
+            "Requests served by a cheaper mapper than requested.",
+        )
+        m.histogram("serve_request_seconds", "End-to-end request latency.")
+        m.histogram("serve_batch_size", "Work items per pool round trip.",
+                    buckets=tuple(float(b) for b in range(1, 17)))
+        m.histogram("serve_batch_seconds", "Pool round-trip time per batch.")
+        m.gauge("serve_queue_depth", "In-flight work items (queued or executing).")
+
+    # ------------------------------------------------------------ dispatch
+
+    async def _dispatch_loop(self) -> None:
+        if self._pool is None:
+            raise RuntimeError("dispatcher started without a pool")
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            batch = [item]
+            while len(batch) < self.config.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            payloads = [{"kind": it.kind, "params": it.params} for it in batch]
+            start = time.monotonic()
+            try:
+                rows = await loop.run_in_executor(self._pool, solve_batch, payloads)
+            except asyncio.CancelledError:
+                self._fail_batch(batch, 503, "daemon shutting down")
+                raise
+            except Exception as exc:  # noqa: BLE001 - broken pool etc.
+                self._fail_batch(batch, 500, f"pool failure: {exc}")
+                continue
+            elapsed = time.monotonic() - start
+            per_item = elapsed / len(batch)
+            self._ewma_batch_s = 0.8 * self._ewma_batch_s + 0.2 * per_item
+            self.metrics.observe("serve_batch_size", float(len(batch)))
+            self.metrics.observe("serve_batch_seconds", elapsed)
+            for it, row in zip(batch, rows):
+                self._settle(it, row)
+
+    def _settle(self, item: _WorkItem, row: dict[str, Any]) -> None:
+        self._pending -= 1
+        self.metrics.set_gauge("serve_queue_depth", float(self._pending))
+        self._in_flight.pop(item.key, None)
+        if row.get("ok"):
+            self.cache.put(item.key, row["result"])
+        if not item.future.done():
+            item.future.set_result(row)
+
+    def _fail_batch(self, batch: list[_WorkItem], code: int, message: str) -> None:
+        for it in batch:
+            self._settle(it, {"ok": False, "code": code, "error": message})
+
+    # ----------------------------------------------------------- policies
+
+    def _effective_mapper(self, requested: str) -> str:
+        """Apply the degradation ladder for the current queue depth."""
+        if requested not in DEGRADATION_LADDER:
+            return requested
+        level = DEGRADATION_LADDER.index(requested)
+        cfg = self.config
+        if cfg.degrade_hard_at is not None and self._pending >= cfg.degrade_hard_at:
+            level = len(DEGRADATION_LADDER) - 1
+        elif cfg.degrade_at is not None and self._pending >= cfg.degrade_at:
+            level = max(level, 1)
+        return DEGRADATION_LADDER[level]
+
+    def _retry_after(self) -> float:
+        """Rough time until a queue slot frees, from the batch EWMA."""
+        waves = self._pending / max(
+            1, self.config.pool_workers * self.config.batch_max
+        )
+        return max(0.05, waves * self._ewma_batch_s)
+
+    async def _submit(
+        self, key: Hashable, kind: str, params: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        """Coalesce onto an in-flight solve or enqueue a new one.
+
+        Returns ``(row, coalesced)``; raises :class:`OverloadedError`
+        when a fresh slot would exceed ``queue_limit``.
+        """
+        existing = self._in_flight.get(key)
+        if existing is not None:
+            return await asyncio.shield(existing), True
+        if self._pending >= self.config.queue_limit:
+            raise OverloadedError(self._retry_after())
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[dict[str, Any]] = loop.create_future()
+        self._in_flight[key] = future
+        self._pending += 1
+        self.metrics.set_gauge("serve_queue_depth", float(self._pending))
+        self._queue.put_nowait(_WorkItem(key=key, kind=kind, params=params, future=future))
+        # shield(): a disconnecting client cancels its handler task, which
+        # must not cancel the shared future other waiters may join.
+        return await asyncio.shield(future), False
+
+    # ------------------------------------------------------------ handlers
+
+    async def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """One decoded request dict in, one wire-ready response dict out."""
+        request_id = request.get("id")
+        op = request.get("op")
+        start = time.monotonic()
+        status = "error"
+        with self.recorder.span("serve.request", op=str(op)) as span:
+            try:
+                if op == "map":
+                    response = await self._handle_map(request)
+                elif op == "repair":
+                    response = await self._handle_repair(request)
+                elif op == "compare":
+                    response = await self._handle_compare(request)
+                elif op == "health":
+                    response = {"id": request_id, "ok": True, "result": self.health()}
+                elif op == "metrics":
+                    snap = self.metrics.snapshot()
+                    response = {
+                        "id": request_id,
+                        "ok": True,
+                        "result": {
+                            "prometheus": snap.render_prom(),
+                            "json": snap.to_dict(),
+                        },
+                    }
+                else:
+                    response = error_response(
+                        request_id, 400, f"unknown op {op!r}; expected one of {OPS}"
+                    )
+            except OverloadedError as exc:
+                self.metrics.inc("serve_rejected_total", op=str(op))
+                response = error_response(
+                    request_id, 429, str(exc), retry_after_s=exc.retry_after_s
+                )
+            except (ProtocolError, KeyError, TypeError, ValueError) as exc:
+                response = error_response(request_id, 400, str(exc))
+            except Exception as exc:  # noqa: BLE001 - daemon must answer
+                response = error_response(
+                    request_id, 500, f"{type(exc).__name__}: {exc}"
+                )
+            response.setdefault("id", request_id)
+            code = response.get("code")
+            status = "ok" if response.get("ok") else (
+                "rejected" if code == 429 else "error"
+            )
+            span.set(
+                status=status,
+                cache_hit=bool(response.get("cache_hit", False)),
+                coalesced=bool(response.get("coalesced", False)),
+                degraded=bool(response.get("degraded", False)),
+            )
+        self.metrics.inc("serve_requests_total", op=str(op), status=status)
+        self.metrics.observe(
+            "serve_request_seconds", time.monotonic() - start, op=str(op)
+        )
+        self.recorder.trim(self.config.span_keep)
+        return response
+
+    def _decorate(
+        self,
+        request_id: Any,
+        result: dict[str, Any],
+        *,
+        fingerprint: str,
+        mapper: str | None = None,
+        cache_hit: bool = False,
+        coalesced: bool = False,
+        degraded: bool = False,
+    ) -> dict[str, Any]:
+        response: dict[str, Any] = {
+            "id": request_id,
+            "ok": True,
+            "result": result,
+            "cache_hit": cache_hit,
+            "coalesced": coalesced,
+            "degraded": degraded,
+            "fingerprint": fingerprint,
+        }
+        if mapper is not None:
+            response["mapper"] = mapper
+        return response
+
+    def _row_to_response(
+        self, request_id: Any, row: dict[str, Any], **decor: Any
+    ) -> dict[str, Any]:
+        if not row.get("ok"):
+            return error_response(
+                request_id, int(row.get("code", 500)), str(row.get("error"))
+            )
+        return self._decorate(request_id, row["result"], **decor)
+
+    async def _handle_map(self, request: dict[str, Any]) -> dict[str, Any]:
+        request_id = request.get("id")
+        problem = decode_problem(request.get("problem"))
+        fingerprint = problem.fingerprint()
+        requested = str(request.get("mapper") or self.config.default_mapper)
+        mapper_kwargs = dict(request.get("mapper_kwargs") or {})
+        seed = int(request.get("seed", 0))
+        sleep_s = float(request.get("sleep_s", 0.0))
+        kwargs_key = tuple(sorted((str(k), repr(v)) for k, v in mapper_kwargs.items()))
+
+        def key_for(mapper: str) -> Hashable:
+            return ("map", fingerprint, mapper, kwargs_key, seed, sleep_s)
+
+        # A full-quality cached answer beats running anything, degraded
+        # or not — check the *requested* mapper's key first.
+        cached = self.cache.get(key_for(requested))
+        if cached is not None:
+            self.metrics.inc("serve_cache_hits_total", op="map")
+            return self._decorate(
+                request_id, cached, fingerprint=fingerprint,
+                mapper=requested, cache_hit=True,
+            )
+        effective = self._effective_mapper(requested)
+        degraded = effective != requested
+        if degraded:
+            self.metrics.inc(
+                "serve_degraded_total", requested=requested, effective=effective
+            )
+            cached = self.cache.get(key_for(effective))
+            if cached is not None:
+                self.metrics.inc("serve_cache_hits_total", op="map")
+                return self._decorate(
+                    request_id, cached, fingerprint=fingerprint,
+                    mapper=effective, cache_hit=True, degraded=True,
+                )
+        params: dict[str, Any] = {
+            "problem": encode_problem(problem, arrays=True),
+            "mapper": effective,
+            "mapper_kwargs": mapper_kwargs,
+            "seed": seed,
+        }
+        if sleep_s > 0:
+            params["sleep_s"] = sleep_s
+        row, coalesced = await self._submit(key_for(effective), "serve-map", params)
+        if coalesced:
+            self.metrics.inc("serve_coalesced_total", op="map")
+        return self._row_to_response(
+            request_id, row, fingerprint=fingerprint, mapper=effective,
+            coalesced=coalesced, degraded=degraded,
+        )
+
+    async def _handle_repair(self, request: dict[str, Any]) -> dict[str, Any]:
+        request_id = request.get("id")
+        problem = decode_problem(request.get("problem"))
+        fingerprint = problem.fingerprint()
+        partial = request.get("partial")
+        if not isinstance(partial, (list, tuple)):
+            raise ProtocolError("repair needs a 'partial' assignment list")
+        refine_rounds = int(request.get("refine_rounds", 2))
+        extra_moves = int(request.get("extra_moves", 0))
+        key = (
+            "repair", fingerprint, tuple(int(p) for p in partial),
+            refine_rounds, extra_moves,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.inc("serve_cache_hits_total", op="repair")
+            return self._decorate(
+                request_id, cached, fingerprint=fingerprint, cache_hit=True
+            )
+        params = {
+            "problem": encode_problem(problem, arrays=True),
+            "partial": [int(p) for p in partial],
+            "refine_rounds": refine_rounds,
+            "extra_moves": extra_moves,
+        }
+        row, coalesced = await self._submit(key, "serve-repair", params)
+        if coalesced:
+            self.metrics.inc("serve_coalesced_total", op="repair")
+        return self._row_to_response(
+            request_id, row, fingerprint=fingerprint, coalesced=coalesced
+        )
+
+    async def _handle_compare(self, request: dict[str, Any]) -> dict[str, Any]:
+        request_id = request.get("id")
+        problem = decode_problem(request.get("problem"))
+        fingerprint = problem.fingerprint()
+        mappers = request.get("mappers")
+        if not isinstance(mappers, (list, tuple)) or not mappers:
+            raise ProtocolError("compare needs a non-empty 'mappers' list")
+        names = tuple(str(m) for m in mappers)
+        seed = int(request.get("seed", 0))
+        key = ("compare", fingerprint, names, seed)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.inc("serve_cache_hits_total", op="compare")
+            return self._decorate(
+                request_id, cached, fingerprint=fingerprint, cache_hit=True
+            )
+        params = {
+            "problem": encode_problem(problem, arrays=True),
+            "mappers": list(names),
+            "seed": seed,
+        }
+        row, coalesced = await self._submit(key, "serve-compare", params)
+        if coalesced:
+            self.metrics.inc("serve_coalesced_total", op="compare")
+        return self._row_to_response(
+            request_id, row, fingerprint=fingerprint, coalesced=coalesced
+        )
+
+    def health(self) -> dict[str, Any]:
+        """The ``health`` op's payload (also the HTTP ``/health`` body)."""
+        return {
+            "status": "ok" if self._pool is not None else "stopped",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "pending": self._pending,
+            "queue_limit": self.config.queue_limit,
+            "pool_workers": self.config.pool_workers,
+            "batch_max": self.config.batch_max,
+            "degrade_at": self.config.degrade_at,
+            "degrade_hard_at": self.config.degrade_hard_at,
+            "cache": self.cache.stats(),
+        }
+
+
+def _pool_init() -> None:
+    """Pool worker initializer: make the serve task kinds importable.
+
+    Under the ``spawn`` start method workers begin with a blank module
+    table; importing :mod:`repro.serve.solver` re-registers the serve
+    kinds (fork inherits them for free, and the import is a no-op).
+    """
+    from . import solver  # noqa: F401

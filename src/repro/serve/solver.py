@@ -1,0 +1,112 @@
+"""Pool-worker side of the placement daemon: the actual solves.
+
+The daemon's event loop never touches a solver — it ships batches of
+payloads to a warm ``ProcessPoolExecutor`` whose workers run
+:func:`solve_batch`.  Each payload is a fabric-style ``{"kind", "params"}``
+pair resolved through :mod:`repro.exp.fabric.tasks`'s registry, so the
+serve stack reuses the fabric worker entrypoint contract instead of
+inventing a second task dispatch: importing this module (which the pool
+initializer and any fabric worker does) registers the three serve kinds.
+
+``serve-map``
+    One placement solve: params carry a wire-encoded problem, a mapper
+    registry name (+ kwargs), and a seed.  Mapper instances come from
+    :func:`repro.core.warm_mapper`, so a long-lived worker constructs
+    each configuration once and reuses it across requests.
+``serve-repair``
+    Incremental repair of a partial assignment
+    (:func:`repro.core.repair_mapping`).
+``serve-compare``
+    One problem through several mappers, returning every mapping.
+
+Like the fabric's demo task, ``serve-map`` accepts a ``sleep_s`` param —
+a test-only stall injected *before* the solve so coalescing and
+backpressure tests can deterministically hold a request in flight
+(natural solves at test sizes finish in single-digit milliseconds).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..core import repair_mapping, warm_mapper
+from ..exp.fabric.tasks import register_task
+from .protocol import decode_problem, encode_mapping
+
+__all__ = ["solve_batch", "serve_map_task", "serve_repair_task", "serve_compare_task"]
+
+
+def _mapper_args(params: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+    name = str(params.get("mapper", "geo-distributed"))
+    kwargs = dict(params.get("mapper_kwargs") or {})
+    return name, kwargs
+
+
+@register_task("serve-map")
+def serve_map_task(params: dict[str, Any]) -> dict[str, Any]:
+    """Solve one wire-encoded problem with one mapper."""
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    problem = decode_problem(params["problem"])
+    name, kwargs = _mapper_args(params)
+    mapper = warm_mapper(name, **kwargs)
+    mapping = mapper.map(problem, seed=int(params.get("seed", 0)))
+    return encode_mapping(mapping)
+
+
+@register_task("serve-repair")
+def serve_repair_task(params: dict[str, Any]) -> dict[str, Any]:
+    """Repair a partial assignment against a wire-encoded problem."""
+    import numpy as np
+
+    problem = decode_problem(params["problem"])
+    partial = np.asarray(params["partial"], dtype=np.int64)
+    result = repair_mapping(
+        problem,
+        partial,
+        refine_rounds=int(params.get("refine_rounds", 2)),
+        extra_moves=int(params.get("extra_moves", 0)),
+    )
+    return {
+        "mapping": encode_mapping(result.mapping),
+        "displaced": result.displaced.tolist(),
+        "migrated": result.migrated.tolist(),
+    }
+
+
+@register_task("serve-compare")
+def serve_compare_task(params: dict[str, Any]) -> dict[str, Any]:
+    """One problem through several mappers; a mapping per registry name."""
+    problem = decode_problem(params["problem"])
+    seed = int(params.get("seed", 0))
+    results: dict[str, Any] = {}
+    for name in params.get("mappers", ()):
+        mapper = warm_mapper(str(name))
+        results[str(name)] = encode_mapping(mapper.map(problem, seed=seed))
+    return {"mappings": results}
+
+
+def solve_batch(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Run a micro-batch of ``{"kind", "params"}`` payloads in-process.
+
+    One pool round trip amortizes executor dispatch over the whole
+    batch.  Failures are captured per-payload — one bad request must not
+    poison its batchmates — and reported as ``{"ok": False, ...}`` rows
+    the engine turns into 400/500 responses.
+    """
+    from ..exp.fabric.tasks import get_task
+
+    rows: list[dict[str, Any]] = []
+    for payload in payloads:
+        try:
+            fn = get_task(str(payload["kind"]))
+            rows.append({"ok": True, "result": fn(dict(payload["params"]))})
+        except (ValueError, KeyError, TypeError) as exc:
+            rows.append({"ok": False, "code": 400, "error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - worker must answer, not die
+            rows.append(
+                {"ok": False, "code": 500, "error": f"{type(exc).__name__}: {exc}"}
+            )
+    return rows

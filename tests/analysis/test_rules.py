@@ -5,6 +5,7 @@ import textwrap
 from repro.analysis import lint_source
 from repro.analysis.rules import (
     NoBareAssertRule,
+    NoBlockingCallInAsyncRule,
     NoDenseCgInHotPathsRule,
     NoDirectSpanConstructionRule,
     NoFrozenViewRule,
@@ -402,6 +403,168 @@ def test_rpr007_allowlist_ships_empty():
     assert NoDenseCgInHotPathsRule.allowlist == frozenset()
 
 
+# ----------------------------------------------------------------- RPR011
+
+SERVE = "src/repro/serve/example.py"
+
+
+def test_rpr011_flags_time_sleep_in_async_def():
+    result = lint(
+        """
+        import time
+
+        async def handle(request):
+            time.sleep(0.1)
+            return request
+        """,
+        relpath=SERVE,
+        rules=[NoBlockingCallInAsyncRule()],
+    )
+    assert rule_ids(result) == ["RPR011"]
+    assert "asyncio.sleep" in result.findings[0].message
+
+
+def test_rpr011_flags_from_import_sleep_and_aliases():
+    result = lint(
+        """
+        import time as t
+        from time import sleep
+
+        async def handle():
+            sleep(1)
+            t.sleep(1)
+        """,
+        relpath=SERVE,
+        rules=[NoBlockingCallInAsyncRule()],
+    )
+    assert rule_ids(result) == ["RPR011", "RPR011"]
+
+
+def test_rpr011_flags_open_subprocess_and_socket_calls():
+    result = lint(
+        """
+        import subprocess
+
+        async def handle(sock):
+            f = open("state.json")
+            subprocess.run(["true"])
+            sock.recv(4096)
+            sock.sendall(b"x")
+            return f
+        """,
+        relpath=SERVE,
+        rules=[NoBlockingCallInAsyncRule()],
+    )
+    assert rule_ids(result) == ["RPR011"] * 4
+
+
+def test_rpr011_flags_direct_solver_calls():
+    result = lint(
+        """
+        async def handle(mapper, problem):
+            return mapper.map(problem, seed=0)
+        """,
+        relpath=SERVE,
+        rules=[NoBlockingCallInAsyncRule()],
+    )
+    assert rule_ids(result) == ["RPR011"]
+    assert "executor" in result.findings[0].message
+
+
+def test_rpr011_ignores_sync_functions_even_in_serve():
+    result = lint(
+        """
+        import time
+
+        def warmup():
+            time.sleep(0.1)
+            return open("state.json")
+        """,
+        relpath=SERVE,
+        rules=[NoBlockingCallInAsyncRule()],
+    )
+    assert result.findings == []
+
+
+def test_rpr011_sync_def_nested_in_async_is_not_flagged():
+    """A sync helper defined inside an async body runs when called —
+    possibly on an executor — so its body is not an async context."""
+    result = lint(
+        """
+        import time
+
+        async def handle():
+            def blocking_cb():
+                time.sleep(1)
+            return blocking_cb
+        """,
+        relpath=SERVE,
+        rules=[NoBlockingCallInAsyncRule()],
+    )
+    assert result.findings == []
+
+
+def test_rpr011_lambda_in_async_is_not_flagged():
+    result = lint(
+        """
+        import time
+
+        async def handle(loop):
+            return await loop.run_in_executor(None, lambda: time.sleep(1))
+        """,
+        relpath=SERVE,
+        rules=[NoBlockingCallInAsyncRule()],
+    )
+    assert result.findings == []
+
+
+def test_rpr011_only_applies_to_serve_paths():
+    source = """
+        import time
+
+        async def handle():
+            time.sleep(0.1)
+        """
+    for relpath in (
+        "src/repro/core/example.py",
+        "src/repro/exp/fabric/example.py",
+        "tests/serve/test_example.py",  # tests are free to block
+        "benchmarks/bench_serve.py",
+    ):
+        result = lint(source, relpath=relpath, rules=[NoBlockingCallInAsyncRule()])
+        assert result.findings == [], relpath
+
+
+def test_rpr011_allows_nonblocking_async_idiom():
+    result = lint(
+        """
+        import asyncio
+
+        async def handle(engine, request):
+            await asyncio.sleep(0)
+            return await engine.handle(request)
+        """,
+        relpath=SERVE,
+        rules=[NoBlockingCallInAsyncRule()],
+    )
+    assert result.findings == []
+
+
+def test_rpr011_suppression_comment_works():
+    result = lint(
+        """
+        import time
+
+        async def handle():
+            time.sleep(0)  # repro-lint: disable=RPR011
+        """,
+        relpath=SERVE,
+        rules=[NoBlockingCallInAsyncRule()],
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
 # ------------------------------------------------------------- suppression
 
 
@@ -459,6 +622,7 @@ def test_default_rules_select_and_unknown():
         "RPR005",
         "RPR006",
         "RPR007",
+        "RPR011",
     }
     assert [r.id for r in default_rules(["rpr004"])] == ["RPR004"]
     try:

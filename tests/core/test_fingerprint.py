@@ -1,0 +1,152 @@
+"""MappingProblem.fingerprint(): content identity for the serving cache.
+
+The placement daemon keys its result cache and request coalescing on the
+fingerprint, so two properties are load-bearing: problems with the same
+*content* must collide regardless of how their matrices were constructed
+(dense vs sparse, entry order), and any semantic change — one CG weight,
+one latency, one constraint — must produce a different digest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import UNCONSTRAINED, MappingProblem
+
+
+def _base_arrays(n: int = 24, m: int = 4, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    cg = rng.random((n, n)) * 1e5
+    np.fill_diagonal(cg, 0.0)
+    cg = (cg + cg.T) / 2
+    ag = np.ceil(cg / 1e4)
+    np.fill_diagonal(ag, 0.0)
+    lt = rng.random((m, m)) * 0.1
+    np.fill_diagonal(lt, 0.0)
+    lt = (lt + lt.T) / 2
+    bt = rng.random((m, m)) * 1e9 + 1e8
+    bt = (bt + bt.T) / 2
+    caps = np.full(m, n, dtype=np.int64)
+    return {"CG": cg, "AG": ag, "LT": lt, "BT": bt, "capacities": caps}
+
+
+def _problem(**overrides) -> MappingProblem:
+    fields = _base_arrays()
+    fields.update(overrides)
+    return MappingProblem(**fields)
+
+
+class TestEquality:
+    def test_identical_content_identical_fingerprint(self):
+        assert _problem().fingerprint() == _problem().fingerprint()
+
+    def test_dense_and_csr_construction_collide(self):
+        base = _base_arrays()
+        dense = _problem()
+        sparse = _problem(
+            CG=sp.csr_matrix(base["CG"]), AG=sp.csr_matrix(base["AG"])
+        )
+        assert dense.fingerprint() == sparse.fingerprint()
+
+    def test_coo_entry_order_is_canonicalized(self):
+        """Shuffled COO triplets hash like the sorted dense original."""
+        base = _base_arrays()
+        coo = sp.csr_matrix(base["CG"]).tocoo()
+        rng = np.random.default_rng(7)
+        order = rng.permutation(coo.nnz)
+        shuffled = sp.coo_matrix(
+            (coo.data[order], (coo.row[order], coo.col[order])),
+            shape=coo.shape,
+        )
+        assert _problem(CG=shuffled).fingerprint() == _problem().fingerprint()
+
+    def test_float32_input_collides_with_float64(self):
+        """Construction dtype must not leak into the identity."""
+        base = _base_arrays()
+        exact = base["CG"].astype(np.float32).astype(np.float64)
+        narrow = _problem(CG=base["CG"].astype(np.float32))
+        wide = _problem(CG=exact)
+        assert narrow.fingerprint() == wide.fingerprint()
+
+    def test_fingerprint_is_cached(self):
+        p = _problem()
+        assert p.fingerprint() is p.fingerprint()
+
+    def test_fingerprint_is_hex_sha256(self):
+        digest = _problem().fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+
+class TestSensitivity:
+    @pytest.fixture()
+    def reference(self) -> str:
+        return _problem().fingerprint()
+
+    def test_cg_perturbation_changes_fingerprint(self, reference):
+        base = _base_arrays()
+        cg = base["CG"].copy()
+        cg[1, 2] *= 1.0 + 1e-12
+        cg[2, 1] = cg[1, 2]
+        assert _problem(CG=cg).fingerprint() != reference
+
+    def test_cg_sparsity_pattern_changes_fingerprint(self, reference):
+        base = _base_arrays()
+        cg = base["CG"].copy()
+        cg[3, 4] = cg[4, 3] = 0.0
+        assert _problem(CG=cg).fingerprint() != reference
+
+    def test_ag_perturbation_changes_fingerprint(self, reference):
+        base = _base_arrays()
+        ag = base["AG"].copy()
+        ag[1, 2] += 1.0
+        ag[2, 1] = ag[1, 2]
+        assert _problem(AG=ag).fingerprint() != reference
+
+    def test_lt_perturbation_changes_fingerprint(self, reference):
+        base = _base_arrays()
+        lt = base["LT"].copy()
+        lt[0, 1] += 1e-9
+        lt[1, 0] = lt[0, 1]
+        assert _problem(LT=lt).fingerprint() != reference
+
+    def test_bt_perturbation_changes_fingerprint(self, reference):
+        base = _base_arrays()
+        bt = base["BT"].copy()
+        bt[0, 1] += 1.0
+        bt[1, 0] = bt[0, 1]
+        assert _problem(BT=bt).fingerprint() != reference
+
+    def test_capacity_change_changes_fingerprint(self, reference):
+        base = _base_arrays()
+        caps = base["capacities"].copy()
+        caps[0] += 1
+        assert _problem(capacities=caps).fingerprint() != reference
+
+    def test_adding_constraints_changes_fingerprint(self, reference):
+        n = _base_arrays()["CG"].shape[0]
+        constraints = np.full(n, UNCONSTRAINED, dtype=np.int64)
+        constraints[0] = 1
+        assert _problem(constraints=constraints).fingerprint() != reference
+
+    def test_single_constraint_entry_changes_fingerprint(self):
+        n = _base_arrays()["CG"].shape[0]
+        constraints = np.full(n, UNCONSTRAINED, dtype=np.int64)
+        constraints[0] = 1
+        a = _problem(constraints=constraints).fingerprint()
+        constraints2 = constraints.copy()
+        constraints2[0] = 2
+        b = _problem(constraints=constraints2).fingerprint()
+        assert a != b
+
+    def test_coordinates_change_changes_fingerprint(self):
+        m = _base_arrays()["LT"].shape[0]
+        coords = np.arange(m * 2, dtype=np.float64).reshape(m, 2)
+        a = _problem(coordinates=coords).fingerprint()
+        moved = coords.copy()
+        moved[0, 0] += 0.5
+        b = _problem(coordinates=moved).fingerprint()
+        assert a != b
+        assert a != _problem().fingerprint()  # presence alone matters too

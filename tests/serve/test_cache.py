@@ -1,0 +1,62 @@
+"""LRU semantics and stats of the serve result cache."""
+
+from __future__ import annotations
+
+from repro.serve.cache import ResultCache
+
+
+def test_miss_then_hit():
+    cache = ResultCache(4)
+    assert cache.get("a") is None
+    cache.put("a", {"v": 1})
+    assert cache.get("a") == {"v": 1}
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+
+
+def test_evicts_least_recently_used():
+    cache = ResultCache(2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    assert cache.get("a") is not None  # refresh a; b is now LRU
+    cache.put("c", {"v": 3})
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+    assert cache.stats()["evictions"] == 1
+
+
+def test_put_refreshes_recency():
+    cache = ResultCache(2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    cache.put("a", {"v": 10})  # rewrite refreshes, b becomes LRU
+    cache.put("c", {"v": 3})
+    assert cache.get("b") is None
+    assert cache.get("a") == {"v": 10}
+
+
+def test_zero_capacity_disables_storage():
+    cache = ResultCache(0)
+    cache.put("a", {"v": 1})
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_clear_keeps_stats():
+    cache = ResultCache(4)
+    cache.put("a", {"v": 1})
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("a") is None
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+
+
+def test_tuple_keys():
+    cache = ResultCache(4)
+    key = ("map", "fp", "greedy", (), 0, 0.0)
+    cache.put(key, {"v": 1})
+    assert cache.get(("map", "fp", "greedy", (), 0, 0.0)) == {"v": 1}
+    assert cache.get(("map", "fp", "greedy", (), 1, 0.0)) is None

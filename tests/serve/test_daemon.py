@@ -1,0 +1,278 @@
+"""Daemon end-to-end over the real transports (the acceptance scenario).
+
+Drives a live :class:`PlacementDaemon` — unix socket and localhost HTTP
+— with real :class:`PlacementClient` connections running in executor
+threads, exactly as external callers would.  The ISSUE's acceptance
+criteria live here: two identical concurrent map requests produce one
+solve (coalesced), a repeat request is a cache hit, responses are
+bit-identical to a direct ``Mapper.map``, and saturating the queue
+triggers backpressure plus Greedy degradation.  Clean shutdown (no
+orphaned pool workers) is asserted on every teardown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import urllib.request
+
+import pytest
+
+from repro.core import get_mapper
+from repro.serve import (
+    EngineConfig,
+    OverloadedRemoteError,
+    PlacementClient,
+    PlacementDaemon,
+)
+from tests.conftest import make_problem
+
+
+@pytest.fixture(scope="module")
+def problem(topo2):
+    return make_problem(8, topo2, seed=3, constraint_ratio=0.25)
+
+
+@pytest.fixture(scope="module")
+def problems(topo2):
+    return [make_problem(8, topo2, seed=s) for s in range(10, 16)]
+
+
+def _worker_pids(daemon: PlacementDaemon) -> list[int]:
+    pool = daemon.engine._pool
+    if pool is None or pool._processes is None:
+        return []
+    return list(pool._processes)
+
+
+def _assert_all_dead(pids: list[int]) -> None:
+    for pid in pids:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue
+        # Still signalable: either a zombie awaiting reap (acceptable,
+        # the parent is this test process) or a genuine orphan.
+        status = open(f"/proc/{pid}/stat").read().split()[2]
+        assert status == "Z", f"pool worker {pid} survived shutdown (state {status})"
+
+
+def run_daemon_scenario(tmp_path, config, scenario, *, http_port=None):
+    """Run ``scenario(daemon, socket_path, loop)`` against a live daemon.
+
+    Returns the scenario result; asserts clean shutdown afterwards.
+    """
+    socket_path = str(tmp_path / "placement.sock")
+
+    async def main():
+        daemon = PlacementDaemon(socket_path, http_port=http_port, config=config)
+        await daemon.start()
+        pids = _worker_pids(daemon)
+        try:
+            result = await scenario(daemon, socket_path, asyncio.get_running_loop())
+        finally:
+            await daemon.stop()
+        return result, pids
+
+    result, pids = asyncio.run(main())
+    assert not os.path.exists(socket_path)  # socket file cleaned up
+    _assert_all_dead(pids)  # no orphaned pool workers
+    return result
+
+
+def test_acceptance_coalesce_cache_identity_backpressure(
+    tmp_path, problem, problems
+):
+    """The full acceptance flow over one daemon on the unix socket."""
+
+    config = EngineConfig(
+        pool_workers=1, queue_limit=2, batch_max=1,
+        degrade_at=1, degrade_hard_at=1,
+    )
+
+    def one_map(socket_path, p, mapper, sleep_s=0.0):
+        with PlacementClient(socket_path) as client:
+            try:
+                return client.map(p, mapper=mapper, seed=0, sleep_s=sleep_s)
+            except OverloadedRemoteError as exc:
+                return {"rejected": True, "retry_after_s": exc.retry_after_s}
+
+    async def scenario(daemon, socket_path, loop):
+        out = {}
+        # --- two identical concurrent requests -> one solve, coalesced
+        first = loop.run_in_executor(
+            None, one_map, socket_path, problem, "greedy", 0.4
+        )
+        await asyncio.sleep(0.15)
+        second = loop.run_in_executor(
+            None, one_map, socket_path, problem, "greedy", 0.4
+        )
+        out["concurrent"] = await asyncio.gather(first, second)
+        out["cache_stats_after_coalesce"] = daemon.engine.cache.stats()
+
+        # --- repeat request -> cache hit
+        out["repeat"] = await loop.run_in_executor(
+            None, one_map, socket_path, problem, "greedy", 0.4
+        )
+
+        # --- saturate the tiny queue -> 429s and Greedy degradation
+        futs = [
+            loop.run_in_executor(None, one_map, socket_path, p, "geo-distributed", 0.4)
+            for p in problems
+        ]
+        out["storm"] = await asyncio.gather(*futs)
+        return out
+
+    out = run_daemon_scenario(tmp_path, config, scenario)
+
+    r1, r2 = out["concurrent"]
+    assert r1["ok"] and r2["ok"]
+    assert sorted([r1["coalesced"], r2["coalesced"]]) == [False, True]
+    assert r1["result"] == r2["result"]
+    # one solve total: a single cache entry was ever stored for this key
+    assert out["cache_stats_after_coalesce"]["entries"] == 1
+
+    repeat = out["repeat"]
+    assert repeat["cache_hit"] and not repeat["coalesced"]
+
+    # bit-identical to a direct in-process Mapper.map through real JSON
+    direct = get_mapper("greedy").map(problem, seed=0)
+    assert repeat["result"]["cost"] == direct.cost
+    assert repeat["result"]["assignment"] == direct.assignment.tolist()
+
+    storm = out["storm"]
+    rejected = [r for r in storm if r.get("rejected")]
+    degraded = [r for r in storm if not r.get("rejected") and r.get("degraded")]
+    assert rejected, "saturating the queue must trigger 429 backpressure"
+    assert all(r["retry_after_s"] > 0 for r in rejected)
+    assert degraded, "load past degrade_hard_at must degrade requests"
+    assert all(r["mapper"] == "greedy" for r in degraded)
+
+
+def test_sequential_requests_share_one_connection(tmp_path, problem):
+    def session(socket_path):
+        with PlacementClient(socket_path) as client:
+            a = client.map(problem, mapper="greedy", seed=0)
+            b = client.map(problem, mapper="greedy", seed=0)
+            health = client.health()
+            metrics = client.metrics()
+        return a, b, health, metrics
+
+    async def scenario(daemon, socket_path, loop):
+        return await loop.run_in_executor(None, session, socket_path)
+
+    a, b, health, metrics = run_daemon_scenario(
+        tmp_path, EngineConfig(pool_workers=1), scenario
+    )
+    assert not a["cache_hit"] and b["cache_hit"]
+    assert health["status"] == "ok"
+    assert health["cache"]["hits"] == 1
+    assert "serve_requests_total" in metrics["prometheus"]
+
+
+def test_repair_and_compare_over_socket(tmp_path, problem):
+    from repro.core import UNPLACED, repair_mapping
+    import numpy as np
+
+    partial = get_mapper("greedy").map(problem, seed=0).assignment.copy()
+    partial[2] = UNPLACED
+
+    def session(socket_path):
+        with PlacementClient(socket_path) as client:
+            rep = client.repair(problem, partial)
+            cmp_ = client.compare(problem, ["greedy", "multilevel"], seed=0)
+        return rep, cmp_
+
+    async def scenario(daemon, socket_path, loop):
+        return await loop.run_in_executor(None, session, socket_path)
+
+    rep, cmp_ = run_daemon_scenario(
+        tmp_path, EngineConfig(pool_workers=1), scenario
+    )
+    direct = repair_mapping(problem, np.asarray(partial))
+    assert rep["result"]["mapping"]["cost"] == direct.mapping.cost
+    assert set(cmp_["result"]["mappings"]) == {"greedy", "multilevel"}
+
+
+def test_malformed_line_gets_400_and_connection_survives(tmp_path, problem):
+    import socket as socketlib
+
+    def session(socket_path):
+        sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        sock.settimeout(10.0)
+        sock.connect(socket_path)
+        rfile = sock.makefile("rb")
+        sock.sendall(b"this is not json\n")
+        bad = json.loads(rfile.readline())
+        sock.sendall(json.dumps({"op": "health", "id": 2}).encode() + b"\n")
+        good = json.loads(rfile.readline())
+        sock.close()
+        return bad, good
+
+    async def scenario(daemon, socket_path, loop):
+        return await loop.run_in_executor(None, session, socket_path)
+
+    bad, good = run_daemon_scenario(
+        tmp_path, EngineConfig(pool_workers=1), scenario
+    )
+    assert not bad["ok"] and bad["code"] == 400
+    assert good["ok"] and good["result"]["status"] == "ok"
+
+
+def test_shutdown_op_stops_the_daemon(tmp_path, problem):
+    def session(socket_path):
+        with PlacementClient(socket_path) as client:
+            client.map(problem, mapper="greedy", seed=0)
+            return client.shutdown()
+
+    async def scenario(daemon, socket_path, loop):
+        reply = await loop.run_in_executor(None, session, socket_path)
+        await asyncio.wait_for(daemon.serve_forever(), timeout=5.0)
+        return reply
+
+    reply = run_daemon_scenario(tmp_path, EngineConfig(pool_workers=1), scenario)
+    assert reply["ok"] and reply["result"]["stopping"]
+
+
+def test_http_transport(tmp_path, problem):
+    from repro.serve.protocol import encode_problem
+
+    port = 18431
+
+    def session(socket_path):
+        health = json.load(
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/health", timeout=10)
+        )
+        prom = (
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=10)
+            .read()
+            .decode()
+        )
+        body = json.dumps(
+            {"problem": encode_problem(problem), "mapper": "greedy", "seed": 0}
+        ).encode()
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/map", data=body, method="POST"
+        )
+        mapped = json.load(urllib.request.urlopen(req, timeout=30))
+        missing = urllib.request.Request(f"http://127.0.0.1:{port}/v1/nope", data=b"{}")
+        try:
+            urllib.request.urlopen(missing, timeout=10)
+            bad_code = 200
+        except urllib.error.HTTPError as exc:
+            bad_code = exc.code
+        return health, prom, mapped, bad_code
+
+    async def scenario(daemon, socket_path, loop):
+        return await loop.run_in_executor(None, session, socket_path)
+
+    health, prom, mapped, bad_code = run_daemon_scenario(
+        tmp_path, EngineConfig(pool_workers=1), scenario, http_port=port
+    )
+    assert health["status"] == "ok"
+    assert "serve_requests_total" in prom
+    assert mapped["ok"] and mapped["mapper"] == "greedy"
+    direct = get_mapper("greedy").map(problem, seed=0)
+    assert mapped["result"]["cost"] == direct.cost
+    assert bad_code == 400

@@ -1,0 +1,326 @@
+"""PlacementEngine behavior: caching, coalescing, backpressure, degradation.
+
+These tests drive the engine directly (no sockets) inside ``asyncio.run``
+so every serving policy is asserted at the layer that implements it.
+Solves run on a real one- or two-worker process pool; the ``sleep_s``
+test knob (mirroring the fabric demo task's) holds solves in flight so
+concurrency scenarios are deterministic instead of racing real solver
+latency, which is single-digit milliseconds at these sizes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import UNPLACED, get_mapper, repair_mapping
+from repro.serve.engine import EngineConfig, PlacementEngine
+from repro.serve.protocol import encode_problem
+from tests.conftest import make_problem
+
+
+@pytest.fixture(scope="module")
+def problem(topo2):
+    return make_problem(8, topo2, seed=3, constraint_ratio=0.25)
+
+
+@pytest.fixture(scope="module")
+def problem_b(topo2):
+    return make_problem(8, topo2, seed=4)
+
+
+@pytest.fixture(scope="module")
+def problem_c(topo2):
+    return make_problem(8, topo2, seed=5)
+
+
+def map_request(problem, *, rid=1, mapper="greedy", seed=0, sleep_s=0.0):
+    req = {
+        "op": "map",
+        "id": rid,
+        "problem": encode_problem(problem),
+        "mapper": mapper,
+        "seed": seed,
+    }
+    if sleep_s:
+        req["sleep_s"] = sleep_s
+    return req
+
+
+def run_with_engine(config, scenario):
+    """asyncio.run a scenario(engine) coroutine with start/stop bracketing."""
+
+    async def main():
+        engine = PlacementEngine(config)
+        await engine.start()
+        try:
+            return await scenario(engine)
+        finally:
+            await engine.stop()
+
+    return asyncio.run(main())
+
+
+def test_map_is_bit_identical_to_direct_mapper(problem):
+    async def scenario(engine):
+        return await engine.handle(map_request(problem))
+
+    response = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert response["ok"]
+    direct = get_mapper("greedy").map(problem, seed=0)
+    # Through a JSON round trip (what the wire does), still bit-identical.
+    wire = json.loads(json.dumps(response))
+    assert wire["result"]["cost"] == direct.cost
+    assert wire["result"]["assignment"] == direct.assignment.tolist()
+    assert wire["mapper"] == "greedy"
+    assert wire["fingerprint"] == problem.fingerprint()
+    assert not wire["cache_hit"] and not wire["coalesced"] and not wire["degraded"]
+
+
+def test_repeat_request_hits_cache(problem):
+    async def scenario(engine):
+        first = await engine.handle(map_request(problem, rid=1))
+        second = await engine.handle(map_request(problem, rid=2))
+        return first, second, engine.cache.stats()
+
+    first, second, stats = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert not first["cache_hit"] and second["cache_hit"]
+    assert second["result"] == first["result"]
+    assert stats["hits"] == 1 and stats["entries"] == 1
+
+
+def test_different_seed_misses_cache(problem):
+    async def scenario(engine):
+        await engine.handle(map_request(problem, rid=1, seed=0))
+        return await engine.handle(map_request(problem, rid=2, seed=1))
+
+    response = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert not response["cache_hit"]
+
+
+def test_identical_concurrent_requests_coalesce(problem):
+    async def scenario(engine):
+        t1 = asyncio.create_task(
+            engine.handle(map_request(problem, rid=1, sleep_s=0.3))
+        )
+        await asyncio.sleep(0.1)  # let t1 occupy the queue slot
+        t2 = asyncio.create_task(
+            engine.handle(map_request(problem, rid=2, sleep_s=0.3))
+        )
+        r1, r2 = await asyncio.gather(t1, t2)
+        coalesced_total = engine.metrics.counter("serve_coalesced_total").value(
+            op="map"
+        )
+        return r1, r2, coalesced_total, engine.cache.stats()
+
+    r1, r2, coalesced_total, stats = run_with_engine(
+        EngineConfig(pool_workers=1), scenario
+    )
+    assert r1["ok"] and r2["ok"]
+    assert sorted([r1["coalesced"], r2["coalesced"]]) == [False, True]
+    assert r1["result"] == r2["result"]
+    assert coalesced_total == 1
+    # One solve for two requests: exactly one entry was ever stored.
+    assert stats["entries"] == 1
+
+
+def test_queue_saturation_rejects_with_429(problem, problem_b, problem_c):
+    async def scenario(engine):
+        blocker = asyncio.create_task(
+            engine.handle(map_request(problem, rid=1, sleep_s=0.4))
+        )
+        await asyncio.sleep(0.1)
+        rejected = await engine.handle(map_request(problem_b, rid=2))
+        ok_after = await blocker
+        calm = await engine.handle(map_request(problem_c, rid=3))
+        rejected_total = engine.metrics.counter("serve_rejected_total").value(
+            op="map"
+        )
+        return rejected, ok_after, calm, rejected_total
+
+    rejected, ok_after, calm, rejected_total = run_with_engine(
+        EngineConfig(pool_workers=1, queue_limit=1), scenario
+    )
+    assert not rejected["ok"]
+    assert rejected["code"] == 429
+    assert rejected["retry_after_s"] > 0
+    assert ok_after["ok"]
+    assert calm["ok"]  # queue drained; service recovered
+    assert rejected_total == 1
+
+
+def test_degradation_ladder_under_load(problem, problem_b, problem_c):
+    async def scenario(engine):
+        blocker = asyncio.create_task(
+            engine.handle(
+                map_request(problem, rid=1, mapper="geo-distributed", sleep_s=0.5)
+            )
+        )
+        await asyncio.sleep(0.1)  # pending=1 >= degrade_at
+        soft = asyncio.create_task(
+            engine.handle(
+                map_request(
+                    problem_b, rid=2, mapper="geo-distributed", sleep_s=0.5
+                )
+            )
+        )
+        await asyncio.sleep(0.1)  # pending=2 >= degrade_hard_at
+        hard = asyncio.create_task(
+            engine.handle(map_request(problem_c, rid=3, mapper="geo-distributed"))
+        )
+        r1, r2, r3 = await asyncio.gather(blocker, soft, hard)
+        # Calm again: the degraded answer must NOT satisfy a full-quality ask.
+        calm = await engine.handle(
+            map_request(problem_c, rid=4, mapper="geo-distributed")
+        )
+        return r1, r2, r3, calm
+
+    r1, r2, r3, calm = run_with_engine(
+        EngineConfig(
+            pool_workers=1, queue_limit=16, batch_max=1,
+            degrade_at=1, degrade_hard_at=2,
+        ),
+        scenario,
+    )
+    assert not r1["degraded"] and r1["mapper"] == "geo-distributed"
+    assert r2["degraded"] and r2["mapper"] == "multilevel"
+    assert r3["degraded"] and r3["mapper"] == "greedy"
+    assert not calm["cache_hit"]  # greedy result cached under greedy, not geodist
+    assert not calm["degraded"] and calm["mapper"] == "geo-distributed"
+
+
+def test_degraded_mapper_never_upgrades_greedy_requests(problem):
+    async def scenario(engine):
+        return await engine.handle(map_request(problem, mapper="greedy"))
+
+    response = run_with_engine(
+        EngineConfig(pool_workers=1, degrade_at=0, degrade_hard_at=0), scenario
+    )
+    # degrade thresholds of 0 degrade everything -- but greedy is already
+    # the ladder's floor, so the request is untouched.
+    assert response["ok"]
+    assert response["mapper"] == "greedy" and not response["degraded"]
+
+
+def test_repair_matches_direct_repair(problem):
+    partial = get_mapper("greedy").map(problem, seed=0).assignment.copy()
+    partial[3] = UNPLACED
+    partial[7] = UNPLACED
+
+    async def scenario(engine):
+        first = await engine.handle(
+            {
+                "op": "repair",
+                "id": 1,
+                "problem": encode_problem(problem),
+                "partial": partial.tolist(),
+            }
+        )
+        second = await engine.handle(
+            {
+                "op": "repair",
+                "id": 2,
+                "problem": encode_problem(problem),
+                "partial": partial.tolist(),
+            }
+        )
+        return first, second
+
+    first, second = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert first["ok"]
+    direct = repair_mapping(problem, np.asarray(partial))
+    assert first["result"]["mapping"]["cost"] == direct.mapping.cost
+    assert first["result"]["mapping"]["assignment"] == direct.mapping.assignment.tolist()
+    assert sorted(first["result"]["displaced"]) == sorted(direct.displaced.tolist())
+    assert second["cache_hit"]
+
+
+def test_compare_runs_all_mappers(problem):
+    async def scenario(engine):
+        return await engine.handle(
+            {
+                "op": "compare",
+                "id": 1,
+                "problem": encode_problem(problem),
+                "mappers": ["greedy", "multilevel"],
+                "seed": 0,
+            }
+        )
+
+    response = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert response["ok"]
+    mappings = response["result"]["mappings"]
+    assert set(mappings) == {"greedy", "multilevel"}
+    for name, wire in mappings.items():
+        assert wire["mapper"] == name
+        assert np.isfinite(wire["cost"])
+
+
+def test_unknown_op_is_400(problem):
+    async def scenario(engine):
+        return await engine.handle({"op": "solve", "id": 1})
+
+    response = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert not response["ok"] and response["code"] == 400
+
+
+def test_malformed_problem_is_400():
+    async def scenario(engine):
+        return await engine.handle({"op": "map", "id": 1, "problem": {"CG": None}})
+
+    response = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert not response["ok"] and response["code"] == 400
+
+
+def test_unknown_mapper_is_400(problem):
+    async def scenario(engine):
+        return await engine.handle(map_request(problem, mapper="no-such-mapper"))
+
+    response = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert not response["ok"] and response["code"] == 400
+    assert "no-such-mapper" in response["error"]
+
+
+def test_health_and_metrics_ops(problem):
+    async def scenario(engine):
+        await engine.handle(map_request(problem))
+        health = await engine.handle({"op": "health", "id": 2})
+        metrics = await engine.handle({"op": "metrics", "id": 3})
+        return health, metrics
+
+    health, metrics = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert health["ok"] and health["result"]["status"] == "ok"
+    assert health["result"]["cache"]["entries"] == 1
+    prom = metrics["result"]["prometheus"]
+    assert "serve_requests_total" in prom
+    assert 'op="map"' in prom
+
+
+def test_request_spans_carry_serving_attrs(problem):
+    async def scenario(engine):
+        await engine.handle(map_request(problem, rid=1))
+        await engine.handle(map_request(problem, rid=2))
+        return [
+            (root.name, dict(root.attrs)) for root in engine.recorder.roots
+        ]
+
+    spans = run_with_engine(EngineConfig(pool_workers=1), scenario)
+    assert [name for name, _ in spans] == ["serve.request", "serve.request"]
+    assert spans[0][1]["cache_hit"] is False
+    assert spans[1][1]["cache_hit"] is True
+    assert spans[0][1]["op"] == "map"
+
+
+def test_span_forest_stays_bounded(problem):
+    async def scenario(engine):
+        for rid in range(12):
+            await engine.handle({"op": "health", "id": rid})
+        return len(engine.recorder.roots)
+
+    kept = run_with_engine(
+        EngineConfig(pool_workers=1, span_keep=5), scenario
+    )
+    assert kept == 5

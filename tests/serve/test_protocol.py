@@ -1,0 +1,123 @@
+"""Wire-format round trips and validation for repro.serve.protocol."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import MappingProblem, get_mapper
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_problem,
+    encode_mapping,
+    encode_problem,
+    error_response,
+    jsonify_meta,
+)
+from tests.conftest import make_problem
+
+
+@pytest.fixture()
+def problem(topo2) -> MappingProblem:
+    return make_problem(8, topo2, seed=3, constraint_ratio=0.25)
+
+
+def _round_trip(problem: MappingProblem, *, via_json: bool = True) -> MappingProblem:
+    wire = encode_problem(problem)
+    if via_json:
+        wire = json.loads(json.dumps(wire))
+    return decode_problem(wire)
+
+
+class TestProblemRoundTrip:
+    def test_dense_round_trip_preserves_content(self, problem):
+        back = _round_trip(problem)
+        assert back.fingerprint() == problem.fingerprint()
+        np.testing.assert_array_equal(back.constraints, problem.constraints)
+        np.testing.assert_array_equal(back.capacities, problem.capacities)
+
+    def test_sparse_round_trip_preserves_content(self, problem):
+        sparse = MappingProblem(
+            CG=sp.csr_matrix(problem.dense_CG()),
+            AG=sp.csr_matrix(problem.dense_AG()),
+            LT=problem.LT.copy(),
+            BT=problem.BT.copy(),
+            capacities=problem.capacities.copy(),
+            constraints=problem.constraints.copy(),
+        )
+        back = _round_trip(sparse)
+        assert sp.issparse(back.CG)
+        assert back.fingerprint() == sparse.fingerprint()
+
+    def test_arrays_mode_skips_list_conversion(self, problem):
+        wire = encode_problem(problem, arrays=True)
+        assert isinstance(wire["LT"], np.ndarray)
+        back = decode_problem(wire)
+        assert back.fingerprint() == problem.fingerprint()
+
+    def test_missing_field_raises(self, problem):
+        wire = encode_problem(problem)
+        del wire["BT"]
+        with pytest.raises(ProtocolError, match="BT"):
+            decode_problem(wire)
+
+    def test_unknown_matrix_format_raises(self, problem):
+        wire = encode_problem(problem)
+        wire["CG"] = {"format": "coo", "rows": []}
+        with pytest.raises(ProtocolError, match="format"):
+            decode_problem(wire)
+
+    def test_unsupported_version_raises(self, problem):
+        wire = encode_problem(problem)
+        wire["version"] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            decode_problem(wire)
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_problem([1, 2, 3])
+
+    def test_invalid_content_raises_value_error(self, problem):
+        wire = encode_problem(problem)
+        wire["capacities"] = [0] * problem.num_sites
+        with pytest.raises(ValueError):
+            decode_problem(wire)
+
+
+class TestMappingEncoding:
+    def test_cost_survives_json_bit_exactly(self, problem):
+        mapping = get_mapper("greedy").map(problem, seed=0)
+        wire = json.loads(json.dumps(encode_mapping(mapping)))
+        assert wire["cost"] == mapping.cost  # exact float equality, not approx
+        assert wire["assignment"] == mapping.assignment.tolist()
+        assert wire["mapper"] == "greedy"
+
+    def test_meta_is_jsonifiable(self):
+        meta = jsonify_meta(
+            {
+                "count": np.int64(3),
+                "score": np.float64(1.5),
+                "arr": np.arange(3),
+                "nested": {"pair": (1, 2)},
+                "text": "x",
+                "flag": True,
+                "none": None,
+            }
+        )
+        parsed = json.loads(json.dumps(meta))
+        assert parsed["count"] == 3
+        assert parsed["arr"] == [0, 1, 2]
+        assert parsed["nested"]["pair"] == [1, 2]
+
+
+class TestErrorResponse:
+    def test_basic_shape(self):
+        resp = error_response(7, 400, "nope")
+        assert resp == {"id": 7, "ok": False, "code": 400, "error": "nope"}
+
+    def test_retry_after_is_rounded(self):
+        resp = error_response(None, 429, "busy", retry_after_s=0.123456)
+        assert resp["retry_after_s"] == 0.123

@@ -381,3 +381,109 @@ def test_sweep_rejects_bad_chaos_spec(tmp_path, capsys):
     )
     assert rc == 2
     assert "error" in capsys.readouterr().err
+
+
+# -------------------------------------------------------------------- serve
+
+
+def _serve_args(regions=("us-east-1", "eu-west-1"), nodes=4):
+    return [
+        "--app", "LU",
+        "--regions", *regions,
+        "--nodes", str(nodes),
+        "--constraint-ratio", "0.0",
+    ]
+
+
+def _start_daemon_thread(socket_path):
+    """Run a placement daemon in a thread; returns (thread, stop)."""
+    import asyncio
+    import threading
+    import time as _time
+
+    from repro.serve.daemon import PlacementDaemon
+    from repro.serve.engine import EngineConfig
+
+    loop_box = {}
+
+    def serve():
+        async def amain():
+            daemon = PlacementDaemon(
+                socket_path, config=EngineConfig(pool_workers=1)
+            )
+            await daemon.start()
+            loop_box["daemon"] = daemon
+            loop_box["loop"] = asyncio.get_running_loop()
+            try:
+                await daemon.serve_forever()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(amain())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    deadline = _time.monotonic() + 10
+    import os as _os
+
+    while not _os.path.exists(socket_path):
+        if _time.monotonic() > deadline:  # pragma: no cover
+            raise TimeoutError("daemon did not come up")
+        _time.sleep(0.02)
+
+    def stop():
+        loop_box["loop"].call_soon_threadsafe(loop_box["daemon"].request_shutdown)
+        thread.join(timeout=10)
+
+    return thread, stop
+
+
+def test_map_remote_round_trips_through_daemon(tmp_path, capsys):
+    socket_path = str(tmp_path / "placement.sock")
+    _, stop = _start_daemon_thread(socket_path)
+    try:
+        argv = ["map", *_serve_args(), "--mapper", "greedy", "--remote", socket_path]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "mapped remotely by greedy" in out
+        assert "assignment:" in out
+        # same invocation again: served from the daemon's cache
+        assert main(argv) == 0
+        assert "[cache_hit]" in capsys.readouterr().out
+        # the remote answer matches the local solve bit-for-bit
+        assert main(["map", *_serve_args(), "--mapper", "greedy"]) == 0
+        local = capsys.readouterr().out
+        assert main(argv) == 0
+        remote = capsys.readouterr().out
+        local_assignment = local.split("assignment:")[1].strip()
+        remote_assignment = remote.split("assignment:")[1].strip()
+        assert local_assignment == remote_assignment
+    finally:
+        stop()
+
+
+def test_compare_remote(tmp_path, capsys):
+    socket_path = str(tmp_path / "placement.sock")
+    _, stop = _start_daemon_thread(socket_path)
+    try:
+        rc = main(["compare", *_serve_args(), "--remote", socket_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "via daemon" in out
+        for name in ("baseline", "greedy", "geo-distributed"):
+            assert name in out
+    finally:
+        stop()
+
+
+def test_map_remote_without_daemon_fails_cleanly(tmp_path, capsys):
+    rc = main(
+        ["map", *_serve_args(), "--remote", str(tmp_path / "nope.sock")]
+    )
+    assert rc == 1
+    assert "placement daemon" in capsys.readouterr().err
+
+
+def test_serve_cli_flags_validate():
+    with pytest.raises(SystemExit):
+        main(["serve", "--pool-workers"])  # missing value
