@@ -127,6 +127,28 @@ def update_bench_json(records: list[dict], path: Path | None = None) -> Path:
     return path
 
 
+def store_records(records: list[dict], kind: str = "bench") -> None:
+    """Best-effort mirror of bench records into the telemetry store.
+
+    When ``$REPRO_STORE`` names a store directory (see
+    ``repro.obs.store``), each record is appended as a ``kind`` run
+    record, giving ``repro obs query`` / ``repro obs regressions``
+    cross-run history to grade against.  No store configured — or
+    ``repro`` not importable — is a silent no-op: the benches must keep
+    working from a bare checkout, and telemetry must never fail a run.
+    """
+    if not os.environ.get("REPRO_STORE", "").strip():
+        return
+    try:
+        from repro.obs import TelemetryStore, resolve_store_dir
+
+        store = TelemetryStore(resolve_store_dir())
+        for record in records:
+            store.append({"kind": kind, **record})
+    except Exception:
+        return
+
+
 def emit(name: str, text: str) -> str:
     """Persist one regenerated table/figure and echo it."""
     RESULTS_DIR.mkdir(exist_ok=True)

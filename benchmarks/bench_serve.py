@@ -33,7 +33,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _common import emit, update_bench_json  # noqa: E402
+from _common import emit, store_records, update_bench_json  # noqa: E402
 from bench_perf_core import make_bench_problem  # noqa: E402
 
 from repro.serve.client import PlacementClient  # noqa: E402
@@ -226,6 +226,20 @@ def main(argv=None) -> int:
             {"bench": "serve_throughput_per_req", "n": N, "m": M,
              "seconds": 1.0 / tput, "cost": cold_cost},
         ]
+    )
+    # With $REPRO_STORE set, the raw samples go to the telemetry store
+    # so `repro obs query --bench serve_cold` computes exact percentiles
+    # over pooled history instead of trusting this run's summary.
+    store_records(
+        [
+            {"bench": "serve_cold", "op": "map", "n": N, "m": M,
+             "samples": cold, "seconds": cold_p50},
+            {"bench": "serve_cache_hit", "op": "map", "n": N, "m": M,
+             "samples": hits, "seconds": hit_p50},
+            {"bench": "serve_coalesced", "op": "map", "n": N, "m": M,
+             "samples": coalesced, "seconds": co_p50},
+        ],
+        kind="serve",
     )
     return 0
 

@@ -38,10 +38,17 @@ Commands
     supervised worker processes, per-task deadlines, crash isolation,
     quarantine, resume from atomic result shards, and deterministic
     chaos injection (see :mod:`repro.exp.fabric`).
+``obs``
+    Query the persistent telemetry store: ``obs query`` filters run
+    records and prints exact latency percentiles, ``obs regressions``
+    grades the latest bench records against the store's history, and
+    ``obs show TRACE_ID`` renders a stored trace document.
 
 ``map``, ``compare``, and ``robustness`` accept ``--trace out.json``:
 the whole command runs under a span recorder and the trace forest is
-written as JSON on exit (see :mod:`repro.obs`).
+written as JSON on exit (see :mod:`repro.obs`).  The same commands plus
+``sweep`` and ``serve`` accept ``--store DIR`` (or ``$REPRO_STORE``) to
+append run records and trace documents to the telemetry store.
 
 Examples
 --------
@@ -61,6 +68,9 @@ Examples
     python -m repro bench-check --quick
     python -m repro sweep --sweep-dir sweep/ --grid demo --tasks 64 \
         --workers 4 --chaos "seed=7,kill=0.15,hang=0.05" --resume
+    python -m repro obs query --store ~/.repro --bench serve_cold
+    python -m repro obs regressions --store ~/.repro
+    python -m repro obs show 4bf92f3577b34da6a3ce929d0e0e4736
 """
 
 from __future__ import annotations
@@ -124,7 +134,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record an observability trace of the run and write it as JSON",
     )
 
-    app_common = argparse.ArgumentParser(add_help=False, parents=[common, traceable])
+    storeable = argparse.ArgumentParser(add_help=False)
+    storeable.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="append a run record (and its trace) to this telemetry store "
+        "($REPRO_STORE also enables it; query with `repro obs`)",
+    )
+
+    app_common = argparse.ArgumentParser(
+        add_help=False, parents=[common, traceable, storeable]
+    )
     app_common.add_argument(
         "--app", default="LU", choices=list(PAPER_APPS), help="workload to map"
     )
@@ -162,7 +183,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_rob = sub.add_parser(
         "robustness",
-        parents=[traceable],
+        parents=[traceable, storeable],
         help="evaluate mappers against the standard fault suite",
     )
     p_rob.add_argument("--app", default="LU", choices=list(PAPER_APPS))
@@ -319,6 +340,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep",
+        parents=[storeable],
         help="run a sweep through the process-isolated fabric",
         description=(
             "Files-in/files-out sweep under worker-process supervision: "
@@ -425,11 +447,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stitch-trace",
         default=None,
         metavar="OUT",
-        help="concatenate per-worker span files into one trace JSON",
+        help="merge per-process span files into one single-rooted trace JSON",
     )
 
     p_serve = sub.add_parser(
         "serve",
+        parents=[storeable],
         help="run the long-lived placement daemon (mapping-as-a-service)",
     )
     p_serve.add_argument(
@@ -472,6 +495,87 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PENDING",
         help="pending depth at which requests drop straight to Greedy",
+    )
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="query the persistent telemetry store",
+        description=(
+            "Inspect the append-only telemetry store that --store / "
+            "$REPRO_STORE runs write to: filter run records, compute "
+            "latency percentiles, grade bench history, and render "
+            "stored trace documents."
+        ),
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    obs_common = argparse.ArgumentParser(add_help=False)
+    obs_common.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="telemetry store directory (default: $REPRO_STORE, else ~/.repro)",
+    )
+    p_oq = obs_sub.add_parser(
+        "query",
+        parents=[obs_common],
+        help="filter run records and print latency percentiles",
+    )
+    p_oq.add_argument(
+        "--kind", default=None, choices=["bench", "serve", "sweep", "run"]
+    )
+    p_oq.add_argument("--bench", default=None, help="match the record's bench name")
+    p_oq.add_argument("--op", default=None, help="match the record's serve op")
+    p_oq.add_argument("--trace-id", default=None, help="match one trace id")
+    p_oq.add_argument(
+        "--since", type=float, default=None, help="minimum unix ts (inclusive)"
+    )
+    p_oq.add_argument(
+        "--until", type=float, default=None, help="maximum unix ts (inclusive)"
+    )
+    p_oq.add_argument(
+        "--limit", type=int, default=None, help="keep only the latest N matches"
+    )
+    p_oq.add_argument(
+        "--percentiles",
+        type=float,
+        nargs="+",
+        default=[0.5, 0.9, 0.99],
+        help="quantiles reported over the rows' latency samples",
+    )
+    p_oq.add_argument(
+        "--json",
+        action="store_true",
+        help="also print each matching record as a JSON line",
+    )
+    p_or = obs_sub.add_parser(
+        "regressions",
+        parents=[obs_common],
+        help="grade the latest bench records against the store's history",
+    )
+    p_or.add_argument("--bench", default=None, help="restrict to one bench name")
+    p_or.add_argument(
+        "--warn-pct",
+        type=float,
+        default=25.0,
+        help="warn (non-blocking) past this relative slowdown (default: 25)",
+    )
+    p_or.add_argument(
+        "--fail-factor",
+        type=float,
+        default=2.0,
+        help="hard-fail past this current/baseline ratio (default: 2.0)",
+    )
+    p_os = obs_sub.add_parser(
+        "show",
+        parents=[obs_common],
+        help="render a stored trace document by trace id",
+    )
+    p_os.add_argument("trace_id", help="32-hex trace id (see query --json)")
+    p_os.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="prune the rendered tree below this depth (default: no limit)",
     )
     return parser
 
@@ -853,6 +957,92 @@ def _cmd_bench_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _obs_store(args):
+    """The TelemetryStore named by --store / $REPRO_STORE / ~/.repro."""
+    from .obs import TelemetryStore, default_store_dir, resolve_store_dir
+
+    root = resolve_store_dir(args.store)
+    return TelemetryStore(root if root is not None else default_store_dir())
+
+
+def _cmd_obs_query(args) -> int:
+    import json
+
+    store = _obs_store(args)
+    try:
+        result = store.query(
+            kind=args.kind,
+            bench=args.bench,
+            op=args.op,
+            trace_id=args.trace_id,
+            since=args.since,
+            until=args.until,
+            limit=args.limit,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        for row in result.rows:
+            print(json.dumps(row, sort_keys=True))
+    print(
+        f"{len(result.rows)} records matched in {store.root} "
+        f"({result.scanned} scanned, {result.corrupt_lines} corrupt lines)"
+    )
+    samples = result.samples()
+    if samples:
+        pcts = result.percentiles(args.percentiles)
+        joined = ", ".join(f"{k}={v * 1e3:.3f} ms" for k, v in pcts.items())
+        print(f"latency over {len(samples)} samples: {joined}")
+    return 0 if result.rows else 1
+
+
+def _cmd_obs_regressions(args) -> int:
+    store = _obs_store(args)
+    report = store.detect_regressions(
+        bench=args.bench,
+        warn_ratio=1.0 + args.warn_pct / 100.0,
+        fail_ratio=args.fail_factor,
+    )
+    print(report.render())
+    for d in report.warnings:
+        print(f"WARN {d.bench} (n={d.n}): {d.ratio:.2f}x history", file=sys.stderr)
+    for d in report.failures:
+        print(f"FAIL {d.bench} (n={d.n}): {d.ratio:.2f}x history", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_obs_show(args) -> int:
+    from .obs import (
+        StoreError,
+        TraceSchemaError,
+        render_trace,
+        span_from_dict,
+        validate_trace,
+    )
+
+    store = _obs_store(args)
+    try:
+        doc = store.load_trace_doc(args.trace_id)
+        validate_trace(doc)
+        spans = [span_from_dict(s) for s in doc.get("spans", [])]
+    except (StoreError, TraceSchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"trace {args.trace_id} (version {doc.get('version')})")
+    print(render_trace(spans, max_depth=args.max_depth))
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    handler = {
+        "query": _cmd_obs_query,
+        "regressions": _cmd_obs_regressions,
+        "show": _cmd_obs_show,
+    }[args.obs_command]
+    return handler(args)
+
+
 def _cmd_sweep(args) -> int:
     from .exp.fabric import (
         ChaosConfig,
@@ -903,6 +1093,7 @@ def _cmd_sweep(args) -> int:
             keys = [s.key for s in specs]
             print(f"initialized sweep: {len(keys)} specs ({args.grid} grid)")
 
+        report = None
         if not args.merge_only:
             chaos = ChaosConfig.parse(args.chaos) if args.chaos else None
             config = FabricConfig(
@@ -930,12 +1121,17 @@ def _cmd_sweep(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    stitched = None
     if args.stitch_trace:
-        doc = stitch_worker_traces(args.sweep_dir, out=args.stitch_trace)
+        stitched = stitch_worker_traces(args.sweep_dir, out=args.stitch_trace)
+        skipped = stitched.get("skipped_sources", [])
         print(
-            f"stitched {len(doc['spans'])} spans from "
-            f"{len(doc['sources'])} worker trace files to {args.stitch_trace}"
+            f"stitched {len(stitched['spans'])} root span(s) from "
+            f"{len(stitched['sources'])} trace files "
+            f"({len(skipped)} skipped) to {args.stitch_trace}"
         )
+
+    _record_sweep(args, report, stitched)
 
     code = 0
     bad = [r for r in merged.rows if r["status"] != "ok"]
@@ -959,10 +1155,66 @@ def _cmd_sweep(args) -> int:
     return code
 
 
+def _record_sweep(args, report, stitched) -> None:
+    """Append the sweep's run record (and stitched trace) to the store."""
+    from .obs import StoreError, TelemetryStore, resolve_store_dir
+
+    store_dir = resolve_store_dir(getattr(args, "store", None))
+    if store_dir is None or report is None:
+        return
+    from .exp.fabric.io import read_json
+    from .exp.fabric.spec import SweepLayout
+
+    ctx = read_json(SweepLayout(args.sweep_dir).trace_context_path)
+    trace_id = ctx.get("trace_id") if isinstance(ctx, dict) else None
+    record = {
+        "kind": "sweep",
+        "bench": "sweep",
+        "sweep_dir": str(args.sweep_dir),
+        "tasks": report.total,
+        "ok": report.count("ok"),
+        "failed": report.count("failed"),
+        "timeout": report.count("timeout"),
+        "quarantined": report.count("quarantined"),
+        "retries": report.retries,
+        "worker_restarts": report.worker_restarts,
+        "seconds": float(report.elapsed_s),
+        "git_rev": _git_rev(),
+    }
+    if isinstance(trace_id, str):
+        record["trace_id"] = trace_id
+    try:
+        store = TelemetryStore(store_dir)
+        store.append(record)
+        if stitched is not None and isinstance(stitched.get("trace_id"), str):
+            store.save_trace(stitched)
+    except (OSError, StoreError):
+        pass  # telemetry must never fail the sweep
+
+
+def _git_rev() -> str | None:
+    """The repo's short HEAD revision, or None outside a checkout."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
 def _cmd_serve(args) -> int:
+    from .obs import resolve_store_dir
     from .serve.daemon import run as run_daemon
     from .serve.engine import EngineConfig
 
+    store_dir = resolve_store_dir(args.store)
     config = EngineConfig(
         pool_workers=args.pool_workers,
         queue_limit=args.queue_limit,
@@ -970,6 +1222,7 @@ def _cmd_serve(args) -> int:
         cache_size=args.cache_size,
         degrade_at=args.degrade_at,
         degrade_hard_at=args.degrade_hard_at,
+        store_dir=str(store_dir) if store_dir is not None else None,
     )
     where = f"unix://{args.socket}"
     if args.http_port is not None:
@@ -992,7 +1245,48 @@ _COMMANDS = {
     "bench-check": _cmd_bench_check,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
 }
+
+#: Commands whose whole run should itself land in the telemetry store
+#: as a ``run`` record (`obs` reads the store; recording it would churn).
+_STORED_COMMANDS = frozenset(
+    {"map", "compare", "robustness", "sweep", "serve"}
+)
+
+
+def _append_run_record(store_dir, args, rec, code: int, elapsed: float) -> None:
+    """Best-effort ``run`` record + trace document for one CLI invocation."""
+    from .obs import StoreError, TelemetryStore, trace_to_dict
+
+    params = {
+        k: v
+        for k, v in sorted(vars(args).items())
+        if k not in ("command", "store")
+        and isinstance(v, (str, int, float, bool, type(None)))
+    }
+    record = {
+        "kind": "run",
+        "command": args.command,
+        "status": int(code),
+        "seconds": float(elapsed),
+        "trace_id": rec.trace_id,
+        "git_rev": _git_rev(),
+        "params": params,
+    }
+    try:
+        store = TelemetryStore(store_dir)
+        store.append(record)
+        # A command may have stored a richer document under this id
+        # already (a sweep's stitched trace); never clobber it.
+        if rec.roots and not store.trace_path(rec.trace_id).exists():
+            store.save_trace(
+                trace_to_dict(
+                    rec.roots, trace_id=rec.trace_id, anchor=rec.anchor
+                )
+            )
+    except (OSError, StoreError):
+        pass  # telemetry must never fail the run it describes
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -1000,14 +1294,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = _COMMANDS[args.command]
     trace_path = getattr(args, "trace", None)
-    if not trace_path:
+    store_dir = None
+    if args.command in _STORED_COMMANDS:
+        from .obs import resolve_store_dir
+
+        store_dir = resolve_store_dir(getattr(args, "store", None))
+    if not trace_path and store_dir is None:
         return handler(args)
+    import time
+
     from .obs import recording, write_trace
 
+    start = time.perf_counter()
     with recording() as rec:
         code = handler(args)
-    write_trace(trace_path, rec.roots)
-    print(f"trace written to {trace_path}", file=sys.stderr)
+    elapsed = time.perf_counter() - start
+    if trace_path:
+        write_trace(
+            trace_path, rec.roots, trace_id=rec.trace_id, anchor=rec.anchor
+        )
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    if store_dir is not None:
+        _append_run_record(store_dir, args, rec, code, elapsed)
     return code
 
 

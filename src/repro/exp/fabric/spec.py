@@ -166,6 +166,16 @@ class SweepLayout:
     def lock_path(self) -> Path:
         return self.root / "sweep.lock"
 
+    @property
+    def supervisor_trace_path(self) -> Path:
+        """The supervisor's own trace document (the sweep's root span)."""
+        return self.traces_dir / "supervisor.trace.json"
+
+    @property
+    def trace_context_path(self) -> Path:
+        """The sweep's distributed-trace identity (trace id + anchor)."""
+        return self.root / "trace_context.json"
+
     def spec_path(self, key: str) -> Path:
         return self.specs_dir / _key_filename(key)
 

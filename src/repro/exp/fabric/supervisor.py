@@ -47,7 +47,7 @@ from typing import Any, Sequence
 
 from ..checkpoint import PathLock
 from .chaos import ChaosConfig, ChaosInjector
-from .io import sweep_stale_tmp
+from .io import atomic_write_json, sweep_stale_tmp
 from .spec import (
     FabricError,
     SweepLayout,
@@ -248,7 +248,7 @@ class SweepFabric:
         timed out, quarantined, corrupt, half-written) is re-run —
         resuming is how a sweep heals.
         """
-        from ...obs import get_metrics, get_recorder
+        from ...obs import SpanRecorder, TraceContext, get_metrics, get_recorder
 
         manifest = load_manifest(self.layout.root)
         if keys is None:
@@ -261,6 +261,15 @@ class SweepFabric:
             selected = [k for k in manifest if k in wanted]
 
         obs = get_recorder()
+        # The sweep always records a real trace: when the ambient
+        # recorder is already a SpanRecorder (the CLI's --trace) the
+        # sweep span nests into the caller's trace; otherwise a local
+        # recorder mints the sweep its own trace identity.  Either way
+        # workers inherit the context via --traceparent, which is what
+        # lets stitch_worker_traces build one causally-parented tree.
+        recorder = obs if isinstance(obs, SpanRecorder) else SpanRecorder()
+        self._recorder = recorder
+        self._sweep_traceparent: str | None = None
         self._metrics = get_metrics()
         start = time.monotonic()
         with PathLock(self.layout.lock_path):
@@ -298,7 +307,7 @@ class SweepFabric:
                         pass
                 pending_keys.append(key)
 
-            with obs.span(
+            with recorder.span(
                 "fabric.sweep",
                 num_tasks=len(selected),
                 pending=len(pending_keys),
@@ -306,6 +315,10 @@ class SweepFabric:
                 resume=resume,
                 chaos=self.config.chaos is not None,
             ) as span:
+                if span.span_id is not None:
+                    self._sweep_traceparent = TraceContext(
+                        trace_id=recorder.trace_id, span_id=span.span_id
+                    ).to_traceparent()
                 if pending_keys:
                     self._execute(pending_keys)
                 span.set(
@@ -313,6 +326,7 @@ class SweepFabric:
                     retries=self._retries,
                     worker_restarts=self._restarts,
                 )
+            self._write_sweep_trace(span)
         report = FabricReport(
             statuses={k: self._statuses[k] for k in selected},
             adopted=self._adopted,
@@ -324,6 +338,39 @@ class SweepFabric:
         if self._metrics.enabled:
             self._metrics.set_gauge("fabric_queue_depth", 0)
         return report
+
+    def _write_sweep_trace(self, span: Any) -> None:
+        """Persist the sweep's root span and trace identity.
+
+        ``traces/supervisor.trace.json`` is the document the stitcher
+        roots the merged tree under; ``trace_context.json`` records the
+        sweep's trace id, the traceparent handed to workers, and the
+        supervisor's clock anchor so late tooling can join the trace.
+        Best-effort: a sweep must not fail because its trace could not
+        be written.
+        """
+        from ...obs import trace_to_dict
+
+        recorder = self._recorder
+        try:
+            self.layout.traces_dir.mkdir(parents=True, exist_ok=True)
+            anchor = recorder.anchor
+            atomic_write_json(
+                self.layout.supervisor_trace_path,
+                trace_to_dict(
+                    [span], trace_id=recorder.trace_id, anchor=anchor
+                ),
+            )
+            atomic_write_json(
+                self.layout.trace_context_path,
+                {
+                    "trace_id": recorder.trace_id,
+                    "traceparent": self._sweep_traceparent,
+                    "anchor": anchor.to_dict(),
+                },
+            )
+        except OSError:
+            pass
 
     # ------------------------------------------------------------ main loop
 
@@ -374,20 +421,23 @@ class SweepFabric:
         env["PYTHONPATH"] = (
             src_root + (os.pathsep + existing if existing else "")
         )
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.exp.fabric.worker",
+            "--sweep-dir", str(self.layout.root),
+            "--name", name,
+            "--heartbeat", str(hb_path),
+            "--trace", str(trace_path),
+            "--heartbeat-interval",
+            str(self.config.heartbeat_interval_s),
+        ]
+        if self._sweep_traceparent is not None:
+            argv += ["--traceparent", self._sweep_traceparent]
         log_fh = open(log_path, "w")
         try:
             proc = subprocess.Popen(
-                [
-                    sys.executable,
-                    "-m",
-                    "repro.exp.fabric.worker",
-                    "--sweep-dir", str(self.layout.root),
-                    "--name", name,
-                    "--heartbeat", str(hb_path),
-                    "--trace", str(trace_path),
-                    "--heartbeat-interval",
-                    str(self.config.heartbeat_interval_s),
-                ],
+                argv,
                 stdin=subprocess.PIPE,
                 stdout=subprocess.PIPE,
                 stderr=log_fh,

@@ -41,7 +41,7 @@ import time
 from pathlib import Path
 from typing import Any, Sequence
 
-from ...obs import SpanRecorder, set_recorder, trace_to_dict
+from ...obs import SpanRecorder, TraceContext, set_recorder, trace_to_dict
 from .io import atomic_write_json
 from .spec import load_spec, write_shard
 from .tasks import get_task
@@ -162,6 +162,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--heartbeat", required=True)
     parser.add_argument("--trace", required=True)
     parser.add_argument("--heartbeat-interval", type=float, default=0.2)
+    parser.add_argument("--traceparent", default=None)
     args = parser.parse_args(argv)
 
     hb = threading.Thread(
@@ -172,7 +173,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     hb.start()
 
-    recorder = SpanRecorder()
+    # Join the supervisor's trace when a context was handed down; a
+    # malformed value degrades to a local trace rather than failing the
+    # worker (the sweep matters more than its telemetry).
+    context = None
+    if args.traceparent:
+        try:
+            context = TraceContext.from_traceparent(args.traceparent)
+        except ValueError:
+            context = None
+    recorder = SpanRecorder(context=context)
     set_recorder(recorder)
 
     def emit(event: dict[str, Any]) -> None:
@@ -194,9 +204,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             continue
         event = _run_task(args.sweep_dir, args.name, msg, recorder)
         # Persist this worker's spans after every task; a later SIGKILL
-        # loses at most the in-flight span, not the history.
+        # loses at most the in-flight span, not the history.  The doc
+        # carries the trace id and this process's clock anchor so the
+        # stitcher can parent and rebase the spans.
         try:
-            atomic_write_json(args.trace, trace_to_dict(recorder.roots))
+            atomic_write_json(
+                args.trace,
+                trace_to_dict(
+                    recorder.roots,
+                    trace_id=recorder.trace_id,
+                    anchor=recorder.anchor,
+                ),
+            )
         except Exception:
             pass
         emit(event)

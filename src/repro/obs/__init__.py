@@ -41,14 +41,18 @@ from .benchgate import (
     load_bench_records,
 )
 from .export import (
+    SUPPORTED_TRACE_VERSIONS,
     TRACE_VERSION,
     TraceSchemaError,
+    causal_violations,
     load_trace,
     render_trace,
     span_from_dict,
     span_to_dict,
+    trace_anchor,
     trace_from_dict,
     trace_to_dict,
+    validate_causal_trace,
     validate_trace,
     write_trace,
 )
@@ -58,10 +62,29 @@ from .recorder import (
     NullSpan,
     Recorder,
     SpanRecorder,
+    current_trace_context,
     get_recorder,
     recording,
     set_recorder,
     using_recorder,
+)
+from .store import (
+    STORE_ENV,
+    STORE_SCHEMA,
+    QueryResult,
+    StoreError,
+    TelemetryStore,
+    default_store_dir,
+    percentiles_of,
+    resolve_store_dir,
+)
+from .tracectx import (
+    TRACEPARENT_KEY,
+    ClockAnchor,
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+    shift_spans,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -95,16 +118,37 @@ __all__ = [
     "set_recorder",
     "using_recorder",
     "recording",
+    "current_trace_context",
     "TRACE_VERSION",
+    "SUPPORTED_TRACE_VERSIONS",
     "TraceSchemaError",
     "span_to_dict",
     "span_from_dict",
     "trace_to_dict",
     "trace_from_dict",
     "validate_trace",
+    "trace_anchor",
+    "causal_violations",
+    "validate_causal_trace",
     "write_trace",
     "load_trace",
     "render_trace",
+    # trace context
+    "TRACEPARENT_KEY",
+    "ClockAnchor",
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "shift_spans",
+    # store
+    "STORE_SCHEMA",
+    "STORE_ENV",
+    "StoreError",
+    "QueryResult",
+    "TelemetryStore",
+    "default_store_dir",
+    "resolve_store_dir",
+    "percentiles_of",
     # metrics
     "Labels",
     "labelset",

@@ -60,6 +60,7 @@ QUICK_BENCH_SCRIPTS: tuple[str, ...] = (
     "bench_lint.py",
     "bench_fabric.py",
     "bench_serve.py",
+    "bench_store.py",
 )
 
 #: ``(bench, n, m)`` — stable across machines, unlike hostnames or paths.

@@ -213,6 +213,43 @@ class HistogramValue:
             count=self.count + other.count,
         )
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by ``le``-bound interpolation.
+
+        The rank ``q * count`` is located in the cumulative bucket
+        counts; within a bucket the value is linearly interpolated
+        between the bucket's lower and upper bound.  Deviations from
+        Prometheus's ``histogram_quantile``, both chosen so histograms
+        whose bounds are the sorted raw samples reproduce exact order
+        statistics:
+
+        * a rank landing in the **first** bucket returns that bucket's
+          upper bound (there is no lower edge to interpolate from);
+        * a rank in the overflow (``+Inf``) bucket returns the highest
+          finite bound rather than extrapolating.
+
+        Empty series yield ``nan``; ``q`` outside ``[0, 1]`` raises.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        running = 0
+        for i, bucket_count in enumerate(self.counts):
+            prev = running
+            running += bucket_count
+            if running >= rank and bucket_count > 0:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                if i == 0:
+                    return self.bounds[0]
+                lo, hi = self.bounds[i - 1], self.bounds[i]
+                return lo + (hi - lo) * ((rank - prev) / bucket_count)
+        # Unreachable: count > 0 means some bucket is populated and the
+        # running total reaches rank <= count; kept for type narrowness.
+        return math.nan
+
 
 class Histogram:
     """A bucketed distribution with sum and count, per label set."""
@@ -276,6 +313,10 @@ class Histogram:
                 sum=self._sums[key],
                 count=self._totals[key],
             )
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """:meth:`HistogramValue.quantile` of one labeled series."""
+        return self.value(**labels).quantile(q)
 
 
 Metric = Union[Counter, Gauge, Histogram]

@@ -38,14 +38,17 @@ the recorder.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar, Token
+from itertools import count
 from types import TracebackType
 from typing import Callable, Iterator, Protocol, runtime_checkable
 
 from .spans import JSONValue, Span, SpanEvent
+from .tracectx import ClockAnchor, TraceContext
 
 __all__ = [
     "Recorder",
@@ -57,6 +60,7 @@ __all__ = [
     "set_recorder",
     "using_recorder",
     "recording",
+    "current_trace_context",
 ]
 
 
@@ -165,6 +169,12 @@ class _OpenSpan:
         span = self._span
         span.t_start = rec.clock()
         parent = _CURRENT_SPAN.get()
+        # Causal identity: in-process children parent under the current
+        # span; roots parent under whatever remote span the recorder's
+        # trace context names (None for a locally minted trace).
+        span.parent_span_id = (
+            parent.span_id if parent is not None else rec.context.span_id
+        )
         with rec._lock:
             (parent.children if parent is not None else rec.roots).append(span)
         self._token = _CURRENT_SPAN.set(span)
@@ -194,20 +204,72 @@ class SpanRecorder:
         Zero-argument callable returning monotonic seconds.  Defaults to
         :func:`time.perf_counter`; tests inject a fake for deterministic
         timings.
+    context:
+        The :class:`~repro.obs.tracectx.TraceContext` this recorder's
+        spans belong to.  Pass the context extracted from an incoming
+        request/task so local roots parent under the remote caller's
+        span; omitted, a fresh local context is minted.
+    wall_clock:
+        Wall-clock source paired with ``clock`` to capture the
+        recorder's :class:`~repro.obs.tracectx.ClockAnchor` (the handle
+        that lets another process rebase these spans onto its clock).
+
+    Every span gets a 16-hex ``span_id`` — a random 64-bit base plus a
+    counter, so id generation costs an increment rather than an entropy
+    read per span (``bench_obs`` guards recorder overhead).
     """
 
-    def __init__(self, *, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        context: TraceContext | None = None,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
         self.clock = clock
+        self.context = context if context is not None else TraceContext.new()
+        self._wall_clock = wall_clock
+        self._anchor: ClockAnchor | None = None
         #: Top-level spans, in creation order.
         self.roots: list[Span] = []
         self._lock = threading.Lock()
+        self._id_base = int.from_bytes(os.urandom(8), "big")
+        self._id_seq = count()
+
+    @property
+    def anchor(self) -> ClockAnchor:
+        """This recorder's clock anchor, captured lazily on first use.
+
+        Lazy so constructing a recorder does not consume a reading from
+        an injected deterministic clock; the offset between two anchors
+        is constant regardless of *when* each pair is captured.
+        """
+        if self._anchor is None:
+            self._anchor = ClockAnchor.now(self.clock, self._wall_clock)
+        return self._anchor
 
     @property
     def enabled(self) -> bool:
         return True
 
+    @property
+    def trace_id(self) -> str:
+        """The 32-hex id of the trace this recorder is building."""
+        return self.context.trace_id
+
+    def next_span_id(self) -> str:
+        """A fresh 16-hex span id unique within this recorder."""
+        value = (self._id_base + next(self._id_seq)) & 0xFFFFFFFFFFFFFFFF
+        return format(value or 1, "016x")
+
+    def current_span(self) -> Span | None:
+        """The open span in the calling execution context, if any."""
+        return _CURRENT_SPAN.get()
+
     def span(self, name: str, **attrs: JSONValue) -> _OpenSpan:
-        return _OpenSpan(self, Span(name=name, attrs=dict(attrs)))
+        return _OpenSpan(
+            self, Span(name=name, attrs=dict(attrs), span_id=self.next_span_id())
+        )
 
     def trim(self, keep: int) -> int:
         """Drop the oldest root spans beyond ``keep``; returns how many.
@@ -271,7 +333,9 @@ def using_recorder(recorder: Recorder) -> Iterator[Recorder]:
 
 @contextmanager
 def recording(
-    *, clock: Callable[[], float] = time.perf_counter
+    *,
+    clock: Callable[[], float] = time.perf_counter,
+    context: TraceContext | None = None,
 ) -> Iterator[SpanRecorder]:
     """Install a fresh :class:`SpanRecorder` for a ``with`` block.
 
@@ -281,6 +345,23 @@ def recording(
             mapper.map(problem)
         print(render_trace(rec.roots))
     """
-    recorder = SpanRecorder(clock=clock)
+    recorder = SpanRecorder(clock=clock, context=context)
     with using_recorder(recorder):
         yield recorder
+
+
+def current_trace_context() -> TraceContext | None:
+    """The context to propagate downstream from this execution context.
+
+    ``None`` unless the ambient recorder is a :class:`SpanRecorder`.
+    When a span is open, the returned context names it as the parent —
+    inject it into an outgoing request and the remote process's spans
+    slot under the span that issued the call.
+    """
+    recorder = _RECORDER.get()
+    if not isinstance(recorder, SpanRecorder):
+        return None
+    current = _CURRENT_SPAN.get()
+    if current is not None and current.span_id is not None:
+        return recorder.context.child(current.span_id)
+    return recorder.context

@@ -71,6 +71,16 @@ class Span:
         Point occurrences recorded inside this span.
     children:
         Sub-spans, in creation order.
+    span_id / parent_span_id:
+        16-hex identities for cross-process stitching (schema v2).
+        ``span_id`` is assigned by the recorder; ``parent_span_id`` is
+        the causal parent — the structural parent for in-process spans,
+        or the remote span named by a propagated
+        :class:`~repro.obs.tracectx.TraceContext` for root spans.
+        Both stay ``None`` on hand-built spans (v1-shaped documents).
+    links:
+        Non-parental references to spans in this or other traces, each
+        ``{"trace_id": ..., "span_id": ...}``.
     """
 
     name: str
@@ -80,6 +90,9 @@ class Span:
     counters: dict[str, float] = field(default_factory=dict)
     events: list[SpanEvent] = field(default_factory=list)
     children: list["Span"] = field(default_factory=list)
+    span_id: str | None = None
+    parent_span_id: str | None = None
+    links: list[dict[str, str]] = field(default_factory=list)
 
     # ------------------------------------------------------------- payload
 

@@ -21,6 +21,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..core import MappingProblem
+from ..obs import current_trace_context
 from .protocol import encode_problem
 
 __all__ = ["PlacementClient", "RemoteError", "OverloadedRemoteError"]
@@ -73,9 +74,17 @@ class PlacementClient:
 
         Raises :class:`OverloadedRemoteError` on 429 and
         :class:`RemoteError` on any other ``ok: false`` answer.
+
+        When the calling context is recording spans (the CLI's
+        ``--trace``), the ambient trace context is injected as a
+        ``traceparent`` so the daemon's request span — and the pool
+        worker's solve spans under it — join the caller's trace.
         """
         self._next_id += 1
         payload = {"op": op, "id": self._next_id, **fields}
+        ctx = current_trace_context()
+        if ctx is not None:
+            ctx.inject(payload)
         self._sock.sendall(json.dumps(payload).encode() + b"\n")
         line = self._rfile.readline()
         if not line:
@@ -161,6 +170,15 @@ class PlacementClient:
     def metrics(self) -> dict[str, Any]:
         """The daemon's metrics: ``{"prometheus": str, "json": dict}``."""
         return self.request("metrics")["result"]
+
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """Fetch the stored trace document of a past request by its id.
+
+        Every response envelope carries a ``trace_id``; feed it back
+        here (a 404 :class:`RemoteError` means it aged out of the
+        daemon's bounded trace map).
+        """
+        return self.request("trace", trace_id=str(trace_id))["result"]
 
     def shutdown(self) -> dict[str, Any]:
         """Ask the daemon to stop (it still answers this request)."""

@@ -9,8 +9,10 @@ Two front ends over one :class:`~repro.serve.engine.PlacementEngine`:
   :class:`repro.serve.client.PlacementClient`.
 * **HTTP on localhost** (optional, ``--http-port``) — a deliberately
   tiny HTTP/1.1 subset for humans and scrapers: ``GET /health``,
-  ``GET /metrics`` (Prometheus text exposition), ``POST /v1/{map,
-  repair,compare}`` with the same JSON bodies as the socket ops.
+  ``GET /metrics`` (Prometheus text exposition), ``GET
+  /v1/trace/<trace_id>`` (the stored trace document of a past request),
+  ``POST /v1/{map,repair,compare}`` with the same JSON bodies as the
+  socket ops.
   Backpressure surfaces as a real ``429`` with a ``Retry-After`` header.
 
 Shutdown is graceful by contract: the ``shutdown`` op (or SIGTERM/
@@ -214,8 +216,17 @@ class PlacementDaemon:
         if method == "GET" and path == "/health":
             return 200, _json_headers(), _json_body(self.engine.health())
         if method == "GET" and path == "/metrics":
+            self.engine.refresh_runtime_gauges()
             text = self.engine.metrics.snapshot().render_prom()
             return 200, {"Content-Type": "text/plain; version=0.0.4"}, text.encode()
+        if method == "GET" and path.startswith("/v1/trace/"):
+            trace_id = path[len("/v1/trace/"):]
+            doc = self.engine.get_trace(trace_id)
+            if doc is None:
+                return 404, _json_headers(), _json_body(
+                    {"error": f"no trace {trace_id!r}"}
+                )
+            return 200, _json_headers(), _json_body(doc)
         if method != "POST":
             return 405, _json_headers(), _json_body({"error": "method not allowed"})
         if not path.startswith("/v1/"):

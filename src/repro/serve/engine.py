@@ -35,12 +35,26 @@ otherwise observe the NULL defaults (see the concurrency notes in
 from __future__ import annotations
 
 import asyncio
+import platform
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
-from ..obs import MetricsRegistry, SpanRecorder
+from .. import __version__
+from ..obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    TelemetryStore,
+    TraceContext,
+    TraceSchemaError,
+    new_trace_id,
+    shift_spans,
+    trace_anchor,
+    trace_to_dict,
+    validate_trace,
+)
 from .cache import ResultCache
 from .protocol import (
     OPS,
@@ -79,8 +93,11 @@ class EngineConfig:
     #: Queue depth at which any non-Greedy request degrades to Greedy.
     degrade_hard_at: int | None = None
     default_mapper: str = "geo-distributed"
-    #: Keep at most this many request span trees (oldest dropped).
+    #: Keep at most this many request span trees (oldest dropped); also
+    #: bounds the by-trace-id document map behind ``GET /v1/trace/<id>``.
     span_keep: int = 256
+    #: Telemetry store directory; ``None`` disables run-record appends.
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.pool_workers < 1:
@@ -97,6 +114,9 @@ class _WorkItem:
     kind: str
     params: dict[str, Any]
     future: "asyncio.Future[dict[str, Any]]"
+    #: Wire-form trace context naming the leader's request span, so the
+    #: pool worker's solve spans parent under it.
+    traceparent: str | None = None
     enqueued_at: float = field(default_factory=time.monotonic)
 
 
@@ -115,7 +135,20 @@ class PlacementEngine:
         self._pending = 0
         self._ewma_batch_s = 0.05
         self._started_at = time.monotonic()
+        #: Closed request trace documents by trace id (bounded LRU-ish).
+        self._traces: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self._store: TelemetryStore | None = (
+            TelemetryStore(self.config.store_dir)
+            if self.config.store_dir
+            else None
+        )
         self._declare_metrics()
+        self.metrics.set_gauge(
+            "serve_build_info",
+            1.0,
+            version=__version__,
+            python=platform.python_version(),
+        )
 
     # ------------------------------------------------------------ lifecycle
 
@@ -181,6 +214,17 @@ class PlacementEngine:
                     buckets=tuple(float(b) for b in range(1, 17)))
         m.histogram("serve_batch_seconds", "Pool round-trip time per batch.")
         m.gauge("serve_queue_depth", "In-flight work items (queued or executing).")
+        m.gauge(
+            "serve_build_info",
+            "Constant 1; labels carry the repro version and Python version.",
+        )
+        m.gauge("serve_uptime_seconds", "Seconds since the engine started.")
+
+    def refresh_runtime_gauges(self) -> None:
+        """Re-stamp gauges that decay with time (called before scrapes)."""
+        self.metrics.set_gauge(
+            "serve_uptime_seconds", round(time.monotonic() - self._started_at, 3)
+        )
 
     # ------------------------------------------------------------ dispatch
 
@@ -196,7 +240,12 @@ class PlacementEngine:
                     batch.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            payloads = [{"kind": it.kind, "params": it.params} for it in batch]
+            payloads: list[dict[str, Any]] = []
+            for it in batch:
+                payload: dict[str, Any] = {"kind": it.kind, "params": it.params}
+                if it.traceparent is not None:
+                    payload["traceparent"] = it.traceparent
+                payloads.append(payload)
             start = time.monotonic()
             try:
                 rows = await loop.run_in_executor(self._pool, solve_batch, payloads)
@@ -266,7 +315,15 @@ class PlacementEngine:
         self._in_flight[key] = future
         self._pending += 1
         self.metrics.set_gauge("serve_queue_depth", float(self._pending))
-        self._queue.put_nowait(_WorkItem(key=key, kind=kind, params=params, future=future))
+        self._queue.put_nowait(
+            _WorkItem(
+                key=key,
+                kind=kind,
+                params=params,
+                future=future,
+                traceparent=self._request_traceparent(),
+            )
+        )
         # shield(): a disconnecting client cancels its handler task, which
         # must not cancel the shared future other waiters may join.
         return await asyncio.shield(future), False
@@ -279,7 +336,17 @@ class PlacementEngine:
         op = request.get("op")
         start = time.monotonic()
         status = "error"
+        # Distributed-trace identity: adopt the caller's trace id (and
+        # parent span) from an injected traceparent, else mint our own.
+        client_ctx = TraceContext.extract(request)
+        trace_id = (
+            client_ctx.trace_id if client_ctx is not None else new_trace_id()
+        )
         with self.recorder.span("serve.request", op=str(op)) as span:
+            span.parent_span_id = (
+                client_ctx.span_id if client_ctx is not None else None
+            )
+            span.set(trace_id=trace_id)
             try:
                 if op == "map":
                     response = await self._handle_map(request)
@@ -290,6 +357,7 @@ class PlacementEngine:
                 elif op == "health":
                     response = {"id": request_id, "ok": True, "result": self.health()}
                 elif op == "metrics":
+                    self.refresh_runtime_gauges()
                     snap = self.metrics.snapshot()
                     response = {
                         "id": request_id,
@@ -299,6 +367,8 @@ class PlacementEngine:
                             "json": snap.to_dict(),
                         },
                     }
+                elif op == "trace":
+                    response = self._handle_trace(request)
                 else:
                     response = error_response(
                         request_id, 400, f"unknown op {op!r}; expected one of {OPS}"
@@ -315,6 +385,7 @@ class PlacementEngine:
                     request_id, 500, f"{type(exc).__name__}: {exc}"
                 )
             response.setdefault("id", request_id)
+            response["trace_id"] = trace_id
             code = response.get("code")
             status = "ok" if response.get("ok") else (
                 "rejected" if code == 429 else "error"
@@ -325,12 +396,97 @@ class PlacementEngine:
                 coalesced=bool(response.get("coalesced", False)),
                 degraded=bool(response.get("degraded", False)),
             )
+        elapsed = time.monotonic() - start
         self.metrics.inc("serve_requests_total", op=str(op), status=status)
-        self.metrics.observe(
-            "serve_request_seconds", time.monotonic() - start, op=str(op)
-        )
+        self.metrics.observe("serve_request_seconds", elapsed, op=str(op))
+        if op in ("map", "repair", "compare"):
+            self._retain_trace(trace_id, span, op=str(op), status=status,
+                               elapsed=elapsed, response=response)
         self.recorder.trim(self.config.span_keep)
         return response
+
+    def _request_traceparent(self) -> str | None:
+        """Wire context naming the open request span (for pool payloads)."""
+        span = self.recorder.current_span()
+        if span is None or span.span_id is None:
+            return None
+        trace_id = span.attrs.get("trace_id")
+        if not isinstance(trace_id, str):
+            return None
+        try:
+            ctx = TraceContext(trace_id=trace_id, span_id=span.span_id)
+        except ValueError:
+            return None
+        return ctx.to_traceparent()
+
+    def _graft_worker_trace(self, doc: Any) -> None:
+        """Attach a pool worker's trace under the open request span.
+
+        The worker recorded on its own ``perf_counter`` clock; its
+        anchor rebases every timestamp onto this process's clock before
+        the spans join the request tree.  Malformed documents are
+        dropped — tracing must never fail a request.
+        """
+        parent = self.recorder.current_span()
+        if parent is None:
+            return
+        try:
+            spans = validate_trace(doc)
+            anchor = trace_anchor(doc)
+        except TraceSchemaError:
+            return
+        if anchor is not None:
+            shift_spans(spans, anchor.offset_to(self.recorder.anchor))
+        parent.children.extend(spans)
+
+    def _retain_trace(
+        self,
+        trace_id: str,
+        span: Any,
+        *,
+        op: str,
+        status: str,
+        elapsed: float,
+        response: dict[str, Any],
+    ) -> None:
+        """Keep the closed request trace queryable; append a run record."""
+        doc = trace_to_dict([span], trace_id=trace_id, anchor=self.recorder.anchor)
+        self._traces[trace_id] = doc
+        while len(self._traces) > self.config.span_keep:
+            self._traces.popitem(last=False)
+        if self._store is None:
+            return
+        try:
+            self._store.append(
+                {
+                    "kind": "serve",
+                    "op": op,
+                    "trace_id": trace_id,
+                    "status": status,
+                    "seconds": elapsed,
+                    "cache_hit": bool(response.get("cache_hit", False)),
+                    "coalesced": bool(response.get("coalesced", False)),
+                    "degraded": bool(response.get("degraded", False)),
+                    "mapper": response.get("mapper"),
+                }
+            )
+            self._store.save_trace(doc)
+        except OSError:
+            pass  # a full or read-only disk must not fail the request
+
+    def get_trace(self, trace_id: str) -> dict[str, Any] | None:
+        """The stored trace document for ``trace_id``, or ``None``."""
+        return self._traces.get(trace_id)
+
+    def _handle_trace(self, request: dict[str, Any]) -> dict[str, Any]:
+        request_id = request.get("id")
+        wanted = request.get("trace_id")
+        if not isinstance(wanted, str) or not wanted:
+            raise ProtocolError("trace needs a 'trace_id' string")
+        doc = self.get_trace(wanted)
+        if doc is None:
+            return error_response(request_id, 404, f"no trace {wanted!r}")
+        return {"id": request_id, "ok": True, "result": doc}
 
     def _decorate(
         self,
@@ -359,6 +515,11 @@ class PlacementEngine:
     def _row_to_response(
         self, request_id: Any, row: dict[str, Any], **decor: Any
     ) -> dict[str, Any]:
+        # Only the leader grafts — coalesced followers share the same
+        # row and their request spans did not cause the solve.
+        trace_doc = row.get("trace")
+        if trace_doc is not None and not decor.get("coalesced", False):
+            self._graft_worker_trace(trace_doc)
         if not row.get("ok"):
             return error_response(
                 request_id, int(row.get("code", 500)), str(row.get("error"))
@@ -478,6 +639,7 @@ class PlacementEngine:
 
     def health(self) -> dict[str, Any]:
         """The ``health`` op's payload (also the HTTP ``/health`` body)."""
+        self.refresh_runtime_gauges()
         return {
             "status": "ok" if self._pool is not None else "stopped",
             "uptime_s": round(time.monotonic() - self._started_at, 3),

@@ -12,7 +12,12 @@ Requests
 "seed": 0}`` — solve one placement.  ``repair`` adds ``"partial"`` (the
 paper's P with :data:`~repro.core.repair.UNPLACED` holes); ``compare``
 takes ``"mappers"`` (a list of registry names).  ``health``,
-``metrics``, and ``shutdown`` take no payload.
+``metrics``, and ``shutdown`` take no payload; ``trace`` takes
+``"trace_id"`` and returns the stored trace document of a past request.
+Any request may carry a ``"traceparent"`` field
+(``00-<trace_id>-<span_id>-01``, see :mod:`repro.obs.tracectx`) naming
+the caller's span — the daemon then records its request span as a child
+of it under the caller's trace id.
 
 Responses
 ---------
@@ -22,6 +27,9 @@ Responses
 429, "error": "...", "retry_after_s": 0.5}`` on rejection.  ``code``
 follows HTTP semantics (400 bad request, 429 overloaded, 500 solver
 failure) so the unix-socket and HTTP transports report identically.
+Every response additionally carries ``"trace_id"`` — the 32-hex id of
+the request's trace, retrievable afterwards via the ``trace`` op or
+``GET /v1/trace/<trace_id>``.
 
 Problem encoding
 ----------------
@@ -58,7 +66,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Every operation the daemon understands.
-OPS = ("map", "repair", "compare", "health", "metrics", "shutdown")
+OPS = ("map", "repair", "compare", "health", "metrics", "trace", "shutdown")
 
 
 class ProtocolError(ValueError):

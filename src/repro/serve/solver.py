@@ -95,14 +95,45 @@ def solve_batch(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
     batch.  Failures are captured per-payload — one bad request must not
     poison its batchmates — and reported as ``{"ok": False, ...}`` rows
     the engine turns into 400/500 responses.
+
+    A payload carrying a ``"traceparent"`` runs under a fresh
+    :class:`~repro.obs.SpanRecorder` bound to that context, and its row
+    gains a ``"trace"`` document (spans + this process's clock anchor)
+    the engine grafts under the originating request span.
     """
     from ..exp.fabric.tasks import get_task
+    from ..obs import SpanRecorder, TraceContext, trace_to_dict, using_recorder
 
     rows: list[dict[str, Any]] = []
     for payload in payloads:
+        context: TraceContext | None = None
+        raw_tp = payload.get("traceparent")
+        if isinstance(raw_tp, str):
+            try:
+                context = TraceContext.from_traceparent(raw_tp)
+            except ValueError:
+                context = None  # a bad header must not fail the solve
         try:
             fn = get_task(str(payload["kind"]))
-            rows.append({"ok": True, "result": fn(dict(payload["params"]))})
+            params = dict(payload["params"])
+            if context is None:
+                rows.append({"ok": True, "result": fn(params)})
+                continue
+            recorder = SpanRecorder(context=context)
+            with using_recorder(recorder):
+                with recorder.span("serve.solve", kind=str(payload["kind"])):
+                    result = fn(params)
+            rows.append(
+                {
+                    "ok": True,
+                    "result": result,
+                    "trace": trace_to_dict(
+                        recorder.roots,
+                        trace_id=recorder.trace_id,
+                        anchor=recorder.anchor,
+                    ),
+                }
+            )
         except (ValueError, KeyError, TypeError) as exc:
             rows.append({"ok": False, "code": 400, "error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - worker must answer, not die

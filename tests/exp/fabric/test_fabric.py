@@ -60,9 +60,16 @@ class TestHappyPath:
         write_sweep(tmp_path, demo_specs(3, work=2))
         _fabric(tmp_path, workers=2).run()
         doc = stitch_worker_traces(tmp_path, out=tmp_path / "trace.json")
-        names = {s["name"] for s in doc["spans"]}
-        assert "fabric.task" in names
-        assert len(doc["spans"]) == 3
+        # One causally-parented tree: the sweep span roots the document
+        # and every task span hangs under it.
+        assert len(doc["spans"]) == 1
+        root = doc["spans"][0]
+        assert root["name"] == "fabric.sweep"
+        tasks = [c for c in root["children"] if c["name"] == "fabric.task"]
+        assert len(tasks) == 3
+        assert all(t["parent_span_id"] == root["span_id"] for t in tasks)
+        assert doc["trace_id"]  # the sweep's 32-hex identity survived
+        assert doc["skipped_sources"] == []
         assert json.loads((tmp_path / "trace.json").read_text())["spans"]
 
     def test_unknown_keys_rejected(self, tmp_path):
@@ -204,6 +211,41 @@ class TestChaosEndToEnd:
         assert results_equivalent(a.rows, b.rows)
         # The chaos actually fired: some kills forced restarts.
         assert chaotic.worker_restarts > 0
+
+    def test_chaotic_sweep_stitches_one_causal_trace(self, tmp_path):
+        """Even under kill chaos the stitched trace is one causal tree.
+
+        Workers SIGKILLed mid-task never write their trace file, so
+        some incarnations' spans are simply absent — but everything
+        that *was* recorded must still stitch into a single root with
+        resolved parent ids and monotone sibling intervals, and any
+        unreadable file must be reported in ``skipped_sources``.
+        """
+        from repro.obs import validate_causal_trace, validate_trace
+
+        write_sweep(tmp_path, demo_specs(12, work=2))
+        chaos = ChaosConfig(
+            seed=13, kill=0.2, kill_mid_write=0.1, delay=0.1, delay_s=0.01
+        )
+        report = _fabric(
+            tmp_path, workers=3, max_retries=3, timeout_s=10.0, chaos=chaos
+        ).run()
+        assert report.ok, report.statuses
+        assert report.worker_restarts > 0  # the chaos actually fired
+
+        doc = stitch_worker_traces(tmp_path)
+        spans = validate_trace(doc)  # schema v2, strict
+        assert len(spans) == 1
+        root = spans[0]
+        assert root.name == "fabric.sweep"
+        # Single-rooted AND causally parented with monotone intervals.
+        validate_causal_trace(spans, epsilon=0.05)
+        tasks = [c for c in root.children if c.name == "fabric.task"]
+        assert tasks, "no surviving worker recorded any task span"
+        assert all(t.parent_span_id == root.span_id for t in tasks)
+        # Losses are accounted for, never silent.
+        assert isinstance(doc["skipped_sources"], list)
+        assert set(doc["sources"]).isdisjoint(doc["skipped_sources"])
 
     def test_comparable_rows_strip_envelope(self, tmp_path):
         rows = [

@@ -4,6 +4,8 @@ import json
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import (
     DEFAULT_BUCKETS,
@@ -264,3 +266,88 @@ def test_collecting_metrics_captures_instrumented_code():
         get_metrics().inc("seen_total")
     assert metrics.snapshot().counter_total("seen_total") == 1.0
     assert get_metrics() is NULL_METRICS
+
+
+# ----------------------------------------------------------------- quantile
+
+
+def test_quantile_validates_and_handles_empty():
+    import math
+
+    hist = Histogram("q_seconds", buckets=[1.0, 2.0])
+    assert math.isnan(hist.quantile(0.5))
+    hist.observe(0.5)
+    with pytest.raises(ValueError):
+        hist.quantile(-0.1)
+    with pytest.raises(ValueError):
+        hist.quantile(1.1)
+
+
+def test_quantile_interpolates_within_buckets():
+    hist = Histogram("q_seconds", buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.5, 1.5, 3.0):
+        hist.observe(v)
+    # rank 2 of 4: halfway through the two samples of the (1, 2] bucket.
+    assert hist.quantile(0.5) == pytest.approx(1.5)
+    # Everything fits under the highest finite bound.
+    assert hist.quantile(1.0) == 4.0
+
+
+def test_quantile_overflow_bucket_reports_highest_bound():
+    hist = Histogram("q_seconds", buckets=[1.0, 2.0])
+    hist.observe(10.0)  # beyond every finite bound
+    assert hist.quantile(0.5) == 2.0
+
+
+def _exact_quantile_histogram(samples):
+    """Per-sample-bounds histogram: quantile() is an order statistic."""
+    hist = Histogram("q_seconds", buckets=sorted(set(samples)))
+    for s in samples:
+        hist.observe(s)
+    return hist
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.floats(
+            min_value=1e-6,
+            max_value=1e3,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=60,
+        unique=True,
+    ),
+    st.data(),
+)
+def test_quantile_matches_sorted_raw_samples(samples, data):
+    """With per-sample bucket bounds and an integral rank q = k/n,
+    quantile(q) is exactly the k-th smallest raw sample — the contract
+    ``percentiles_of`` (and therefore ``repro obs query``) relies on."""
+    hist = _exact_quantile_histogram(samples)
+    k = data.draw(st.integers(min_value=1, max_value=len(samples)))
+    got = hist.quantile(k / len(samples))
+    expected = sorted(samples)[k - 1]
+    assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(
+            min_value=1e-6,
+            max_value=1e3,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=2,
+        max_size=40,
+    )
+)
+def test_quantile_is_monotone_in_q(samples):
+    hist = _exact_quantile_histogram(samples)
+    qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+    values = [hist.quantile(q) for q in qs]
+    assert values == sorted(values)

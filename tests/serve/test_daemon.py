@@ -235,6 +235,80 @@ def test_shutdown_op_stops_the_daemon(tmp_path, problem):
     assert reply["ok"] and reply["result"]["stopping"]
 
 
+def test_distributed_trace_parents_worker_spans_under_request(tmp_path, problem):
+    """A traced client call produces ONE causal tree across three processes.
+
+    The client records under ``recording()`` and injects its context, so
+    the daemon adopts the client's trace id, parents its request span
+    under the client's span, and grafts the pool worker's solve spans
+    (rebased onto the daemon's clock) under the request span.  The
+    stored document is fetchable over both the socket ``trace`` op and
+    the HTTP ``GET /v1/trace/<id>`` route.
+    """
+    from repro.obs import causal_violations, recording, validate_trace
+
+    port = 18437
+
+    def session(socket_path):
+        with recording() as rec:
+            with rec.span("cli.map") as client_span:
+                with PlacementClient(socket_path) as client:
+                    resp = client.map(problem, mapper="greedy", seed=0)
+                    doc = client.trace(resp["trace_id"])
+                    health_env = client.request("health")
+        http_doc = json.load(
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/v1/trace/{resp['trace_id']}",
+                timeout=10,
+            )
+        )
+        prom = (
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=10)
+            .read()
+            .decode()
+        )
+        return resp, doc, http_doc, prom, health_env, rec.trace_id, client_span.span_id
+
+    async def scenario(daemon, socket_path, loop):
+        return await loop.run_in_executor(None, session, socket_path)
+
+    resp, doc, http_doc, prom, health_env, client_trace_id, client_span_id = (
+        run_daemon_scenario(
+            tmp_path, EngineConfig(pool_workers=1), scenario, http_port=port
+        )
+    )
+
+    # Every response envelope names the trace it belongs to, and the
+    # daemon adopted the client's identity rather than minting its own.
+    assert resp["trace_id"] == client_trace_id
+    assert health_env["trace_id"] == client_trace_id
+    assert doc["trace_id"] == client_trace_id
+
+    # The stored document is one schema-valid, causally-parented tree.
+    spans = validate_trace(doc)
+    assert len(spans) == 1
+    request_span = spans[0]
+    assert request_span.name == "serve.request"
+    assert request_span.attrs["op"] == "map"
+    # The request span hangs under the *client's* span across the wire.
+    assert request_span.parent_span_id == client_span_id
+    # The pool worker's solve span was grafted under the request span
+    # with its propagated parent id intact.
+    solves = [c for c in request_span.children if c.name == "serve.solve"]
+    assert solves, "pool worker solve span missing from the request trace"
+    assert all(s.parent_span_id == request_span.span_id for s in solves)
+    # Clock rebasing holds up: children nest inside their parents.
+    assert causal_violations(spans, epsilon=0.05) == []
+
+    # The HTTP route serves the same document.
+    assert http_doc["trace_id"] == client_trace_id
+    assert http_doc["spans"] == doc["spans"]
+
+    # Build/uptime gauges are exported alongside the serve counters.
+    assert "serve_build_info" in prom
+    assert "serve_uptime_seconds" in prom
+
+
 def test_http_transport(tmp_path, problem):
     from repro.serve.protocol import encode_problem
 

@@ -487,3 +487,85 @@ def test_map_remote_without_daemon_fails_cleanly(tmp_path, capsys):
 def test_serve_cli_flags_validate():
     with pytest.raises(SystemExit):
         main(["serve", "--pool-workers"])  # missing value
+
+
+# ---------------------------------------------------------------------- obs
+
+
+def test_sweep_with_store_feeds_obs_query_and_show(tmp_path, capsys):
+    import json
+
+    d = str(tmp_path / "sweep")
+    store = str(tmp_path / "store")
+    trace = str(tmp_path / "stitched.json")
+    rc = main(
+        ["sweep", "--sweep-dir", d, "--grid", "demo", "--tasks", "4",
+         "--workers", "2", "--stitch-trace", trace, "--store", store]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "stitched 1 root span(s)" in out
+    assert "(0 skipped)" in out
+
+    # The sweep appended a queryable record carrying its trace id.
+    assert main(
+        ["obs", "query", "--store", store, "--kind", "sweep", "--json"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "1 records matched" in out
+    rec = json.loads(out.splitlines()[0])
+    assert rec["tasks"] == 4 and rec["ok"] == 4
+    trace_id = rec["trace_id"]
+
+    # ...and persisted the stitched trace under that id for obs show.
+    assert main(["obs", "show", "--store", store, trace_id]) == 0
+    out = capsys.readouterr().out
+    assert f"trace {trace_id}" in out
+    assert "fabric.sweep" in out and "fabric.task" in out
+
+    # The CLI invocation itself also left a run record.
+    assert main(
+        ["obs", "query", "--store", store, "--kind", "run", "--json"]
+    ) == 0
+    run_rec = json.loads(capsys.readouterr().out.splitlines()[0])
+    assert run_rec["command"] == "sweep" and run_rec["status"] == 0
+
+
+def test_obs_query_empty_store_and_bad_show(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["obs", "query", "--store", store]) == 1
+    assert "0 records matched" in capsys.readouterr().out
+    assert main(["obs", "show", "--store", store, "f" * 32]) == 2
+    assert "error" in capsys.readouterr().err
+    # Regressions over an empty store: nothing to grade, exit 0.
+    assert main(["obs", "regressions", "--store", store]) == 0
+
+
+def test_obs_query_percentiles_over_samples(tmp_path, capsys):
+    from repro.obs import TelemetryStore
+
+    store_dir = tmp_path / "store"
+    store = TelemetryStore(store_dir)
+    store.append(
+        {"kind": "serve", "op": "map", "bench": "serve_cold",
+         "samples": [0.010, 0.020, 0.030, 0.040]}
+    )
+    rc = main(
+        ["obs", "query", "--store", str(store_dir), "--bench", "serve_cold",
+         "--percentiles", "0.5", "1.0"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "latency over 4 samples" in out
+    assert "p50=20.000 ms" in out
+    assert "p100=40.000 ms" in out
+
+
+def test_obs_store_env_fallback(tmp_path, capsys, monkeypatch):
+    from repro.obs import STORE_ENV, TelemetryStore
+
+    store_dir = tmp_path / "envstore"
+    TelemetryStore(store_dir).append({"kind": "run", "command": "x"})
+    monkeypatch.setenv(STORE_ENV, str(store_dir))
+    assert main(["obs", "query"]) == 0
+    assert "1 records matched" in capsys.readouterr().out
